@@ -1,0 +1,135 @@
+package harassrepro
+
+// Benchmark harness: one benchmark per paper table and figure. Each
+// benchmark regenerates its artifact from a shared pipeline run (the
+// pipeline itself is timed by BenchmarkPipelineEndToEnd). Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+)
+
+func benchPipeline(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = Run(QuickConfig(1))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// benchExperiment times the regeneration of one experiment artifact.
+func benchExperiment(b *testing.B, id string) {
+	s := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd times the full reproduction pipeline
+// (corpus generation, both classifier pipelines, thresholding and
+// annotation) at quick scale.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(QuickConfig(uint64(i) + 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1RawDatasets(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2TrainingSets(b *testing.B)          { benchExperiment(b, "table2") }
+func BenchmarkTable3ClassifierPerformance(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4Thresholds(b *testing.B)            { benchExperiment(b, "table4") }
+func BenchmarkTable5AttackTypes(b *testing.B)           { benchExperiment(b, "table5") }
+func BenchmarkTable6PII(b *testing.B)                   { benchExperiment(b, "table6") }
+func BenchmarkTable7HarmRisk(b *testing.B)              { benchExperiment(b, "table7") }
+func BenchmarkTable8Blogs(b *testing.B)                 { benchExperiment(b, "table8") }
+func BenchmarkTable9BlogTaxonomy(b *testing.B)          { benchExperiment(b, "table9") }
+func BenchmarkTable10GenderTaxonomy(b *testing.B)       { benchExperiment(b, "table10") }
+func BenchmarkTable11FullTaxonomy(b *testing.B)         { benchExperiment(b, "table11") }
+func BenchmarkFigure1Pipeline(b *testing.B)             { benchExperiment(b, "fig1") }
+func BenchmarkFigure2HarmOverlap(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkFigure3AnnotationTask(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFigure4SeedQuery(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkFigure5ThreadCDF(b *testing.B)            { benchExperiment(b, "fig5") }
+func BenchmarkFigure6ThreadsByAttack(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkSection63Overlap(b *testing.B)            { benchExperiment(b, "overlap") }
+func BenchmarkSection63Positions(b *testing.B)          { benchExperiment(b, "positions") }
+func BenchmarkSection62CoOccurrence(b *testing.B)       { benchExperiment(b, "cooccur") }
+func BenchmarkSection73RepeatedDoxes(b *testing.B)      { benchExperiment(b, "repeats") }
+func BenchmarkSection53Agreement(b *testing.B)          { benchExperiment(b, "agreement") }
+func BenchmarkSection71PIICoOccurrence(b *testing.B)    { benchExperiment(b, "piico") }
+func BenchmarkSection62ChiSquare(b *testing.B)          { benchExperiment(b, "chisq") }
+func BenchmarkSection63GenderResponse(b *testing.B)     { benchExperiment(b, "genderresp") }
+
+// Ablation benches time the design-choice validations DESIGN.md calls
+// out (§5.2 span strategies, §5.4 combined training, Table 4 chat split,
+// §5.3 active learning, classifier family).
+func BenchmarkAblationSpanStrategies(b *testing.B)    { benchExperiment(b, "ablate-span") }
+func BenchmarkAblationCombinedTraining(b *testing.B)  { benchExperiment(b, "ablate-combined") }
+func BenchmarkAblationChatSplit(b *testing.B)         { benchExperiment(b, "ablate-chatsplit") }
+func BenchmarkAblationActiveLearning(b *testing.B)    { benchExperiment(b, "ablate-active") }
+func BenchmarkAblationBaseline(b *testing.B)          { benchExperiment(b, "ablate-baseline") }
+func BenchmarkCalibration(b *testing.B)               { benchExperiment(b, "calibration") }
+func BenchmarkAblationCrawlCompleteness(b *testing.B) { benchExperiment(b, "ablate-crawl") }
+func BenchmarkScoreDistributions(b *testing.B)        { benchExperiment(b, "scores") }
+
+// BenchmarkScoreCTH times single-document scoring with the trained CTH
+// classifier — the operation a platform integration would run per
+// message.
+func BenchmarkScoreCTH(b *testing.B) {
+	s := benchPipeline(b)
+	text := "we need to mass-report his twitter and youtube, spread the word"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreCTH(text)
+	}
+}
+
+// BenchmarkScoreDox times single-document dox scoring.
+func BenchmarkScoreDox(b *testing.B) {
+	s := benchPipeline(b)
+	text := "DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188 / fb: jane.roe.42"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreDox(text)
+	}
+}
+
+// BenchmarkExtractPII times the 12-extractor PII pass on a dense dox.
+func BenchmarkExtractPII(b *testing.B) {
+	text := "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractPII(text)
+	}
+}
+
+// BenchmarkCategorizeAttack times the taxonomy coder.
+func BenchmarkCategorizeAttack(b *testing.B) {
+	text := "get her phone number and address, then raid the stream and mass report her channel"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CategorizeAttack(text)
+	}
+}

@@ -1,0 +1,94 @@
+// Command corpusgen generates the synthetic platform corpora and writes
+// them as JSON Lines, one document per line, for use by external tools.
+//
+// Usage:
+//
+//	corpusgen [-seed N] [-volume-scale N] [-positive-scale N]
+//	          [-dataset boards|blogs|chat|gab|pastes|all] [-truth]
+//
+// By default ground-truth labels are omitted (the filtering task's
+// input); -truth includes them for evaluation tooling.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"harassrepro/internal/corpus"
+)
+
+type jsonDoc struct {
+	ID          string `json:"id"`
+	Dataset     string `json:"dataset"`
+	Platform    string `json:"platform"`
+	Domain      string `json:"domain"`
+	ThreadID    string `json:"thread_id,omitempty"`
+	PosInThread int    `json:"pos_in_thread,omitempty"`
+	ThreadSize  int    `json:"thread_size,omitempty"`
+	Author      string `json:"author"`
+	Date        string `json:"date"`
+	Text        string `json:"text"`
+	IsCTH       *bool  `json:"is_cth,omitempty"`
+	IsDox       *bool  `json:"is_dox,omitempty"`
+}
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "random seed")
+		volScale = flag.Int("volume-scale", 10000, "divide Table 1 raw volumes by this factor")
+		posScale = flag.Int("positive-scale", 10, "divide planted positive volumes by this factor")
+		dataset  = flag.String("dataset", "all", "data set to emit (boards|blogs|chat|gab|pastes|all)")
+		truth    = flag.Bool("truth", false, "include ground-truth labels")
+	)
+	flag.Parse()
+
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed:          *seed,
+		VolumeScale:   *volScale,
+		PositiveScale: *posScale,
+	})
+	corpora := gen.Generate()
+	corpora[corpus.Blogs] = gen.GenerateBlogs(corpus.DefaultBlogSpecs(10))
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	emit := func(c *corpus.Corpus) error {
+		for i := range c.Docs {
+			d := &c.Docs[i]
+			jd := jsonDoc{
+				ID: d.ID, Dataset: string(d.Dataset), Platform: string(d.Platform),
+				Domain: d.Domain, ThreadID: d.ThreadID, PosInThread: d.PosInThread,
+				ThreadSize: d.ThreadSize, Author: d.Author, Date: d.Date, Text: d.Text,
+			}
+			if *truth {
+				jd.IsCTH = &d.Truth.IsCTH
+				jd.IsDox = &d.Truth.IsDox
+			}
+			if err := enc.Encode(jd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	order := []corpus.Dataset{corpus.Boards, corpus.Blogs, corpus.Chat, corpus.Gab, corpus.Pastes}
+	for _, ds := range order {
+		if *dataset != "all" && *dataset != string(ds) {
+			continue
+		}
+		c, ok := corpora[ds]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "corpusgen: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		if err := emit(c); err != nil {
+			fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command cthdetect scores text for calls to harassment and doxes. Each
+// line on stdin is treated as one document; the tool prints the trained
+// classifiers' scores, the rule-based taxonomy coding, and whether the
+// Figure 4 seed query matches.
+//
+// The classifiers are trained at startup by running the quick-scale
+// pipeline over generated corpora (tens of seconds); the taxonomy and
+// seed-query columns need no training.
+//
+// Usage:
+//
+//	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harassrepro"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "training seed")
+		rulesOnly = flag.Bool("rules-only", false, "skip classifier training; taxonomy and query only")
+		models    = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
+		explain   = flag.Int("explain", 0, "with -models: print the top-N n-grams driving each CTH score")
+	)
+	flag.Parse()
+
+	type scorer interface {
+		ScoreCTH(string) float64
+		ScoreDox(string) float64
+	}
+	var sc scorer
+	var det *harassrepro.Detector
+	switch {
+	case *rulesOnly:
+	case *models != "":
+		d, err := harassrepro.LoadDetector(*models)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
+			os.Exit(1)
+		}
+		det = d
+		sc = d
+		fmt.Fprintf(os.Stderr, "loaded classifiers from %s\n", *models)
+	default:
+		fmt.Fprintln(os.Stderr, "training filtering classifiers (quick scale)...")
+		study, err := harassrepro.Run(harassrepro.QuickConfig(*seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
+			os.Exit(1)
+		}
+		sc = study
+		fmt.Fprintln(os.Stderr, "ready")
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for in.Scan() {
+		line := in.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if sc != nil {
+			fmt.Printf("cth=%.3f dox=%.3f ", sc.ScoreCTH(line), sc.ScoreDox(line))
+		}
+		fmt.Printf("seed-query=%v", harassrepro.MatchesSeedQuery(line))
+		if attacks := harassrepro.AttackParents(line); len(attacks) > 0 {
+			fmt.Printf(" attacks=%v", attacks)
+		}
+		if piiTypes := harassrepro.PIITypes(line); len(piiTypes) > 0 {
+			fmt.Printf(" pii=%v", piiTypes)
+		}
+		fmt.Println()
+		if det != nil && *explain > 0 {
+			for _, w := range det.ExplainCTH(line, *explain) {
+				fmt.Printf("    %+.3f  %s\n", w.Weight, w.NGram)
+			}
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
+		os.Exit(1)
+	}
+}

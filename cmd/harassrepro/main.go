@@ -1,0 +1,95 @@
+// Command harassrepro runs the full reproduction pipeline and prints the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	harassrepro [-seed N] [-scale quick|default] [-experiment id|all] [-list]
+//
+// With -experiment all (the default) every registered experiment is
+// reproduced in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"harassrepro"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "random seed for the reproduction")
+		scale      = flag.String("scale", "default", "corpus scale: quick or default")
+		experiment = flag.String("experiment", "all", "experiment ID to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		saveModels = flag.String("save-models", "", "directory to save trained classifiers (vocab + weights + thresholds)")
+		outDir     = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harassrepro.ExperimentIDs() {
+			fmt.Printf("%-12s %s\n", id, harassrepro.ExperimentTitle(id))
+		}
+		return
+	}
+
+	var cfg harassrepro.Config
+	switch *scale {
+	case "quick":
+		cfg = harassrepro.QuickConfig(*seed)
+	case "default":
+		cfg = harassrepro.DefaultConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "harassrepro: unknown scale %q (want quick or default)\n", *scale)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "running pipeline (seed %d, scale %s)...\n", *seed, *scale)
+	start := time.Now()
+	study, err := harassrepro.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pipeline complete in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *saveModels != "" {
+		if err := study.SaveModels(*saveModels); err != nil {
+			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved classifiers to %s\n", *saveModels)
+	}
+
+	ids := harassrepro.ExperimentIDs()
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		out, err := study.Experiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

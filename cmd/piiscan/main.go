@@ -1,0 +1,62 @@
+// Command piiscan extracts PII from text on stdin with the paper's 12
+// precision-tuned extractors (§5.6) and reports the target's harm-risk
+// profile (Table 7) and likely gender (pronoun heuristic).
+//
+// Usage:
+//
+//	piiscan [-json] < document.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"harassrepro"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	flag.Parse()
+
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piiscan: %v\n", err)
+		os.Exit(1)
+	}
+	text := string(data)
+
+	matches := harassrepro.ExtractPII(text)
+	risks := harassrepro.HarmRisks(text)
+	gender := harassrepro.InferTargetGender(text)
+
+	if *jsonOut {
+		out := struct {
+			PII    []harassrepro.PIIMatch `json:"pii"`
+			Risks  []string               `json:"harm_risks"`
+			Gender string                 `json:"likely_target_gender"`
+		}{matches, risks, gender}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "piiscan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(matches) == 0 {
+		fmt.Println("no PII detected")
+	} else {
+		fmt.Printf("PII (%d):\n", len(matches))
+		for _, m := range matches {
+			fmt.Printf("  %-10s %s\n", m.Type, m.Value)
+		}
+	}
+	if len(risks) > 0 {
+		fmt.Printf("harm risks: %v\n", risks)
+	}
+	fmt.Printf("likely target gender: %s\n", gender)
+}

@@ -1,0 +1,84 @@
+// Moderation: triage an incoming message stream the way a platform
+// trust-and-safety queue would, using the trained filtering classifiers
+// plus the rule-based taxonomy. Messages are scored against the
+// platform's selected threshold (Table 4), enriched with attack types,
+// PII exposure and harm risks, and printed as a prioritized queue —
+// the paper's suggested use of the open-sourced classifiers by online
+// platforms (§9.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"harassrepro"
+)
+
+type queued struct {
+	text     string
+	cthScore float64
+	doxScore float64
+	attacks  []string
+	pii      []string
+	risks    []string
+}
+
+func (q queued) priority() float64 {
+	p := q.cthScore
+	if q.doxScore > p {
+		p = q.doxScore
+	}
+	// PII exposure escalates.
+	return p + 0.1*float64(len(q.pii))
+}
+
+func main() {
+	study, err := harassrepro.Run(harassrepro.QuickConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated incoming stream for a chat platform.
+	stream := []string{
+		"gg everyone, same time tomorrow",
+		"we need to mass report his channel until it's taken down",
+		"dropping her info now: 88 Willow Court, Fairview, OH, 44122, phone (440) 555-0133",
+		"lets raid with all six of us in the dungeon tonight",
+		"everyone should email her boss at the county library with the screenshots",
+		"new emotes just dropped check them out",
+		"post FB and Twitter accounts so we can spam him with hate",
+	}
+
+	cthT := study.CTHThreshold("discord")
+	doxT := study.DoxThreshold("discord")
+	fmt.Printf("platform thresholds: cth=%.3f dox=%.3f\n\n", cthT, doxT)
+
+	var queue []queued
+	for _, msg := range stream {
+		q := queued{
+			text:     msg,
+			cthScore: study.ScoreCTH(msg),
+			doxScore: study.ScoreDox(msg),
+			attacks:  harassrepro.AttackParents(msg),
+			pii:      harassrepro.PIITypes(msg),
+			risks:    harassrepro.HarmRisks(msg),
+		}
+		if q.cthScore > cthT || q.doxScore > doxT || len(q.attacks) > 0 {
+			queue = append(queue, q)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].priority() > queue[j].priority() })
+
+	fmt.Printf("moderation queue (%d of %d messages flagged):\n", len(queue), len(stream))
+	for i, q := range queue {
+		fmt.Printf("%d. [cth %.2f | dox %.2f]", i+1, q.cthScore, q.doxScore)
+		if len(q.attacks) > 0 {
+			fmt.Printf(" attacks=%v", q.attacks)
+		}
+		if len(q.pii) > 0 {
+			fmt.Printf(" pii=%v risks=%v", q.pii, q.risks)
+		}
+		fmt.Printf("\n   %q\n", q.text)
+	}
+}

@@ -1,0 +1,98 @@
+// Trends: longitudinal analysis of calls to harassment — the research
+// direction §9.2 proposes ("Longitudinal analysis of calls to harassment
+// could provide insights into new attack types"). The confirmed CTH are
+// bucketed by year and platform, attack-mix shifts are reported, and the
+// trained classifiers are exported as the paper's open-source release
+// artifact for downstream deployments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"harassrepro"
+)
+
+func main() {
+	study, err := harassrepro.Run(harassrepro.QuickConfig(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bucket confirmed CTH by year and leading attack type.
+	type key struct {
+		year   string
+		attack string
+	}
+	counts := map[key]int{}
+	years := map[string]int{}
+	for _, doc := range study.AnnotatedCTH() {
+		year := doc.Date[:4]
+		years[year]++
+		attacks := harassrepro.AttackParents(doc.Text)
+		if len(attacks) == 0 {
+			attacks = []string{"Generic"}
+		}
+		for _, a := range attacks {
+			counts[key{year, a}]++
+		}
+	}
+
+	var yearList []string
+	for y := range years {
+		yearList = append(yearList, y)
+	}
+	sort.Strings(yearList)
+
+	fmt.Println("confirmed calls to harassment per year (top attack types):")
+	for _, y := range yearList {
+		if years[y] < 5 {
+			continue
+		}
+		type av struct {
+			attack string
+			n      int
+		}
+		var tops []av
+		for _, a := range harassrepro.TaxonomyParents() {
+			if n := counts[key{y, a}]; n > 0 {
+				tops = append(tops, av{a, n})
+			}
+		}
+		sort.Slice(tops, func(i, j int) bool { return tops[i].n > tops[j].n })
+		if len(tops) > 3 {
+			tops = tops[:3]
+		}
+		fmt.Printf("  %s: %3d total |", y, years[y])
+		for _, t := range tops {
+			fmt.Printf(" %s %d;", t.attack, t.n)
+		}
+		fmt.Println()
+	}
+
+	// Export the classifiers — the deployable artifact.
+	dir, err := os.MkdirTemp("", "harassrepro-models-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := study.SaveModels(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclassifiers exported to %s (vocab.txt, dox.model, cth.model, meta.json)\n", dir)
+
+	// Reload and sanity-check the exported detector.
+	det, err := harassrepro.LoadDetector(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := "we need to mass-report her twitter and youtube"
+	fmt.Printf("reloaded detector: cth(%q) = %.3f\n", sample, det.ScoreCTH(sample))
+	fmt.Printf("platform thresholds: ")
+	for _, p := range det.Platforms() {
+		fmt.Printf("%s=%.2f ", p, det.CTHThreshold(p))
+	}
+	fmt.Println()
+}

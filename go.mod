@@ -1,0 +1,3 @@
+module harassrepro
+
+go 1.22

@@ -1,0 +1,210 @@
+package harassrepro
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	studyOnce sync.Once
+	study     *Study
+	studyErr  error
+)
+
+func sharedStudy(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		study, studyErr = Run(QuickConfig(7))
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return study
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "table9", "table10", "table11",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+		if ExperimentTitle(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("missing experiment %s", w)
+		}
+	}
+	if ExperimentTitle("bogus") != "" {
+		t.Error("bogus title should be empty")
+	}
+}
+
+func TestStudyExperiments(t *testing.T) {
+	s := sharedStudy(t)
+	out, err := s.Experiment("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Reporting") || !strings.Contains(out, "Content Leakage") {
+		t.Errorf("table5 incomplete:\n%s", out)
+	}
+	if _, err := s.Experiment("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestStudyScoring(t *testing.T) {
+	s := sharedStudy(t)
+	// In-domain phrasing: the trained filters, like any text classifier,
+	// are only calibrated for the distribution they were trained on.
+	dox := "dropping her info now\nAddress: 99 Cedar Lane, Riverton, TX, 75001\nPhone: (212) 555-0188\nfb: jane.roe.422"
+	cth := "we should mass-report his twitter and youtube, do not let up"
+	benign := "the remaster looks worse than the original, change my mind"
+	if s.ScoreDox(dox) <= s.ScoreDox(benign) {
+		t.Error("dox should outscore benign")
+	}
+	if s.ScoreCTH(cth) <= s.ScoreCTH(benign) {
+		t.Error("cth should outscore benign")
+	}
+	for _, plat := range []string{"boards", "pastes", "gab", "discord", "telegram"} {
+		th := s.DoxThreshold(plat)
+		if th < 0.3 || th > 1 {
+			t.Errorf("dox threshold %s = %v", plat, th)
+		}
+	}
+	if s.DoxThreshold("unknown-platform") != 0.5 || s.CTHThreshold("unknown") != 0.5 {
+		t.Error("unknown platform should default to 0.5")
+	}
+}
+
+func TestStudyDocuments(t *testing.T) {
+	s := sharedStudy(t)
+	for _, ds := range []string{"boards", "blogs", "chat", "gab", "pastes"} {
+		docs := s.Documents(ds)
+		if len(docs) == 0 {
+			t.Errorf("no %s documents", ds)
+		}
+		if docs[0].Dataset != ds {
+			t.Errorf("%s doc has dataset %s", ds, docs[0].Dataset)
+		}
+	}
+	if s.Documents("bogus") != nil {
+		t.Error("bogus dataset should return nil")
+	}
+	if len(s.AnnotatedDoxes()) == 0 || len(s.AnnotatedCTH()) == 0 {
+		t.Error("annotated positives missing")
+	}
+}
+
+func TestExtractPII(t *testing.T) {
+	got := ExtractPII("reach him at j.doe@example.org or 212-555-0142")
+	if len(got) != 2 {
+		t.Fatalf("ExtractPII = %v", got)
+	}
+	types := PIITypes("ssn 219-09-9999 and fb: some.person")
+	if len(types) != 2 || types[0] != "facebook" || types[1] != "ssn" {
+		t.Errorf("PIITypes = %v", types)
+	}
+	if got := ExtractPII("nothing here"); got != nil {
+		t.Errorf("benign ExtractPII = %v", got)
+	}
+}
+
+func TestCategorizeAttack(t *testing.T) {
+	subs := CategorizeAttack("we need to mass report his channel and raid the stream")
+	if len(subs) < 2 {
+		t.Fatalf("CategorizeAttack = %v", subs)
+	}
+	parents := AttackParents("we need to mass report his channel")
+	if len(parents) != 1 || parents[0] != "Reporting" {
+		t.Errorf("AttackParents = %v", parents)
+	}
+	if got := CategorizeAttack("nice weather today"); got != nil {
+		t.Errorf("benign CategorizeAttack = %v", got)
+	}
+}
+
+func TestHarmRisks(t *testing.T) {
+	risks := HarmRisks("his address is 12 Oak Street and his boss should know, ssn 219-09-9999")
+	want := map[string]bool{"Physical": true, "Economic / Identity": true, "Reputation": true}
+	if len(risks) != len(want) {
+		t.Fatalf("HarmRisks = %v", risks)
+	}
+	for _, r := range risks {
+		if !want[r] {
+			t.Errorf("unexpected risk %s", r)
+		}
+	}
+}
+
+func TestInferTargetGender(t *testing.T) {
+	if InferTargetGender("report her account") != "female" {
+		t.Error("female not inferred")
+	}
+	if InferTargetGender("report the account") != "unknown" {
+		t.Error("unknown not inferred")
+	}
+}
+
+func TestMatchesSeedQuery(t *testing.T) {
+	if !MatchesSeedQuery("we should mass report him") {
+		t.Error("seed query should match")
+	}
+	if MatchesSeedQuery("the weather is nice") {
+		t.Error("seed query should not match")
+	}
+}
+
+func TestTaxonomyAccessors(t *testing.T) {
+	if got := len(TaxonomyParents()); got != 10 {
+		t.Errorf("parents = %d", got)
+	}
+	if got := len(TaxonomySubcategories()); got != 29 {
+		t.Errorf("subcategories = %d", got)
+	}
+	if ParentDefinition("Reporting") == "" {
+		t.Error("Reporting definition missing")
+	}
+	if ParentDefinition("Nope") != "" {
+		t.Error("bogus definition should be empty")
+	}
+}
+
+func TestSaveModelsAndDetector(t *testing.T) {
+	s := sharedStudy(t)
+	dir := t.TempDir()
+	if err := s.SaveModels(dir); err != nil {
+		t.Fatal(err)
+	}
+	det, err := LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cth := s.AnnotatedCTH()
+	if len(cth) == 0 {
+		t.Fatal("no confirmed CTH")
+	}
+	hits := 0
+	for i := 0; i < 20 && i < len(cth); i++ {
+		if det.ScoreCTH(cth[i].Text) > 0.5 {
+			hits++
+		}
+	}
+	if hits < 15 {
+		t.Errorf("detector rescored only %d/20 confirmed CTH above 0.5", hits)
+	}
+	if len(det.Platforms()) == 0 {
+		t.Error("detector has no platform thresholds")
+	}
+	if _, err := LoadDetector(t.TempDir()); err == nil {
+		t.Error("loading an empty directory should fail")
+	}
+}

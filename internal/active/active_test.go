@@ -1,0 +1,224 @@
+package active
+
+import (
+	"fmt"
+	"testing"
+
+	"harassrepro/internal/annotate"
+	"harassrepro/internal/features"
+	"harassrepro/internal/model"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/synth"
+	"harassrepro/internal/taxonomy"
+)
+
+// buildPool generates a pool of vectorized CTH/benign documents.
+func buildPool(n int, posRate float64, seed uint64, h *features.Hasher) []Instance {
+	rng := randx.New(seed)
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		var text string
+		truth := rng.Bool(posRate)
+		if truth {
+			p := synth.NewPersona(rng.SplitN("p", i))
+			text = synth.CTH(p, []taxonomy.Sub{taxonomy.SubMassFlagging, taxonomy.SubRaiding}[i%2:i%2+1], synth.GenderedPronouns, rng)
+		} else {
+			text = synth.Benign(synth.FlavorBoard, rng)
+		}
+		out = append(out, Instance{
+			ID:    fmt.Sprintf("pool-%05d", i),
+			X:     h.Vectorize(tokens(text)),
+			Truth: truth,
+		})
+	}
+	return out
+}
+
+func tokens(text string) []string {
+	var toks []string
+	word := ""
+	for _, r := range text {
+		if r == ' ' || r == '\n' || r == '.' || r == ',' {
+			if word != "" {
+				toks = append(toks, word)
+				word = ""
+			}
+			continue
+		}
+		word += string(r)
+	}
+	if word != "" {
+		toks = append(toks, word)
+	}
+	return toks
+}
+
+func seedExamples(pool []Instance, n int) []model.Example {
+	var out []model.Example
+	var pos, neg int
+	for _, inst := range pool {
+		if inst.Truth && pos < n/2 {
+			out = append(out, model.Example{X: inst.X, Y: true})
+			pos++
+		} else if !inst.Truth && neg < n/2 {
+			out = append(out, model.Example{X: inst.X, Y: false})
+			neg++
+		}
+		if pos+neg >= n {
+			break
+		}
+	}
+	return out
+}
+
+func TestRunImprovesAUC(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 15})
+	pool := buildPool(3000, 0.08, 1, h)
+	seed := seedExamples(pool, 40)
+	annRng := randx.New(2)
+	annotators := annotate.NewPool(annotate.CrowdConfig(annotate.TaskCTH), annRng)
+
+	res, err := Run(seed, pool, annotators, Config{
+		Bins: 10, PerBin: 30, Iterations: 2,
+		Model: model.LogRegConfig{Buckets: 1 << 15, Epochs: 4, Seed: 3},
+		Seed:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("history length = %d", len(res.History))
+	}
+	if res.History[0].AUC < 0.7 {
+		t.Errorf("first-iteration AUC = %v, seed training failed", res.History[0].AUC)
+	}
+	// Labelled set grows each iteration.
+	if res.History[1].TrainSize <= res.History[0].TrainSize {
+		t.Error("training set did not grow")
+	}
+	// Final model separates the pool well.
+	scores := make([]float64, len(pool))
+	truths := make([]bool, len(pool))
+	for i := range pool {
+		scores[i] = res.Model.Score(pool[i].X)
+		truths[i] = pool[i].Truth
+	}
+	if auc := model.AUCROC(scores, truths); auc < 0.9 {
+		t.Errorf("final AUC = %v", auc)
+	}
+}
+
+func TestRunSamplesAcrossBins(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 15})
+	pool := buildPool(2000, 0.1, 5, h)
+	seed := seedExamples(pool, 40)
+	annotators := annotate.NewPool(annotate.ExpertConfig(annotate.TaskCTH), randx.New(6))
+	res, err := Run(seed, pool, annotators, Config{
+		Bins: 10, PerBin: 20, Iterations: 1,
+		Model: model.LogRegConfig{Buckets: 1 << 15, Epochs: 3, Seed: 7},
+		Seed:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 10 bins and 20 per bin, at most 200 sampled; some bins may be
+	// sparse but several must contribute.
+	if res.History[0].Sampled < 50 || res.History[0].Sampled > 200 {
+		t.Errorf("sampled = %d", res.History[0].Sampled)
+	}
+	// Stratified sampling should pull in positives (high-score bins).
+	if res.History[0].NewPositives == 0 {
+		t.Error("no positives sampled from high-score bins")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 12})
+	annotators := annotate.NewPool(annotate.ExpertConfig(annotate.TaskCTH), randx.New(9))
+	pool := buildPool(50, 0.2, 10, h)
+	if _, err := Run(nil, pool, annotators, Config{}); err != model.ErrNoTrainingData {
+		t.Errorf("missing seed: err = %v", err)
+	}
+	seed := seedExamples(pool, 10)
+	if _, err := Run(seed, nil, annotators, Config{}); err != ErrEmptyPool {
+		t.Errorf("empty pool: err = %v", err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 14})
+	run := func() Result {
+		pool := buildPool(800, 0.1, 11, h)
+		seed := seedExamples(pool, 30)
+		annotators := annotate.NewPool(annotate.CrowdConfig(annotate.TaskCTH), randx.New(12))
+		res, err := Run(seed, pool, annotators, Config{
+			PerBin: 15, Iterations: 2,
+			Model: model.LogRegConfig{Buckets: 1 << 14, Epochs: 2, Seed: 13},
+			Seed:  14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Labelled) != len(b.Labelled) {
+		t.Fatal("labelled sizes differ")
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("history %d differs: %+v vs %+v", i, a.History[i], b.History[i])
+		}
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 15})
+	pool := buildPool(2500, 0.08, 51, h)
+	seed := seedExamples(pool, 40)
+
+	results := map[Strategy]Result{}
+	for _, strat := range []Strategy{StrategyStratified, StrategyUncertainty, StrategyRandom} {
+		annotators := annotate.NewPool(annotate.CrowdConfig(annotate.TaskCTH), randx.New(52))
+		res, err := Run(seed, pool, annotators, Config{
+			Strategy: strat, Bins: 10, PerBin: 15, Iterations: 2,
+			Model: model.LogRegConfig{Buckets: 1 << 15, Epochs: 3, Seed: 53},
+			Seed:  54,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		results[strat] = res
+	}
+	positives := func(r Result) int {
+		n := 0
+		for _, ex := range r.Labelled[len(seed):] {
+			if ex.Y {
+				n++
+			}
+		}
+		return n
+	}
+	// Informed strategies surface more positives than random on an
+	// imbalanced pool.
+	if positives(results[StrategyStratified]) <= positives(results[StrategyRandom]) {
+		t.Errorf("stratified %d <= random %d positives",
+			positives(results[StrategyStratified]), positives(results[StrategyRandom]))
+	}
+	// All strategies respect the same per-iteration budget.
+	for strat, res := range results {
+		for _, h := range res.History {
+			if h.Sampled > 10*15 {
+				t.Errorf("%v iteration sampled %d > budget", strat, h.Sampled)
+			}
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyStratified.String() != "stratified" ||
+		StrategyUncertainty.String() != "uncertainty" ||
+		StrategyRandom.String() != "random" {
+		t.Error("strategy names wrong")
+	}
+}

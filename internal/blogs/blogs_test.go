@@ -1,0 +1,135 @@
+package blogs
+
+import (
+	"strings"
+	"testing"
+
+	"harassrepro/internal/annotate"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/randx"
+)
+
+func TestRelevant(t *testing.T) {
+	positives := []string{
+		"his phone number is listed",
+		"contact by EMAIL only",
+		"this is a dox of the organizer",
+		"records show dob: 1990-01-01",
+	}
+	for _, p := range positives {
+		if !Relevant(p) {
+			t.Errorf("Relevant(%q) = false", p)
+		}
+	}
+	if Relevant("a post about gardening") {
+		t.Error("benign text relevant")
+	}
+}
+
+func generateBlogs(t *testing.T, seed uint64) *corpus.Corpus {
+	t.Helper()
+	g := corpus.NewGenerator(corpus.Config{Seed: seed})
+	return g.GenerateBlogs(corpus.DefaultBlogSpecs(10))
+}
+
+func TestAnalyzeTable8Shape(t *testing.T) {
+	c := generateBlogs(t, 1)
+	experts := annotate.NewPool(annotate.ExpertConfig(annotate.TaskDox), randx.New(2))
+	reports, err := Analyze(c, experts, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	byName := map[string]BlogReport{}
+	for _, r := range reports {
+		byName[r.Blog] = r
+	}
+	torch := byName["torch-network.example"]
+	if torch.TotalPosts != 93 {
+		t.Errorf("torch total = %d, want 93", torch.TotalPosts)
+	}
+	// The keyword query misses 10 of the 33 torch doxes (§8.1).
+	if torch.MissedByKeywords != 10 || torch.TrueDoxes != 33 {
+		t.Errorf("torch keyword recall: missed %d of %d, want 10 of 33", torch.MissedByKeywords, torch.TrueDoxes)
+	}
+	// Dox rate ordering (Table 8): torch (60.5%) >> noblogs (9.8%) >
+	// daily stormer (2.9%).
+	ds := byName["daily-stormer.example"]
+	nb := byName["noblogs.example"]
+	if !(torch.DoxRate > nb.DoxRate && nb.DoxRate > ds.DoxRate) {
+		t.Errorf("dox rates: torch %.3f, noblogs %.3f, ds %.3f; want torch > noblogs > ds",
+			torch.DoxRate, nb.DoxRate, ds.DoxRate)
+	}
+	// Relevance filtering is a narrow funnel on the big blogs.
+	if ds.RelevantPosts*2 > ds.TotalPosts {
+		t.Errorf("daily stormer relevance not narrow: %d of %d", ds.RelevantPosts, ds.TotalPosts)
+	}
+}
+
+func TestAnalyzeAnnotationAccuracy(t *testing.T) {
+	c := generateBlogs(t, 5)
+	experts := annotate.NewPool(annotate.ExpertConfig(annotate.TaskDox), randx.New(6))
+	reports, err := Analyze(c, experts, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		visible := r.TrueDoxes - r.MissedByKeywords
+		// Expert annotation of the relevant pool should land near the
+		// keyword-visible dox count.
+		if visible > 0 {
+			ratio := float64(r.ActualDoxes) / float64(visible)
+			if ratio < 0.7 || ratio > 1.3 {
+				t.Errorf("%s: annotated %d vs %d keyword-visible doxes", r.Blog, r.ActualDoxes, visible)
+			}
+		}
+	}
+}
+
+func TestTable9Structure(t *testing.T) {
+	profiles := Table9()
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		if len(p.Order) == 0 {
+			t.Errorf("%s has no sections", p.Family)
+		}
+		for _, section := range p.Order {
+			if len(p.Sections[section]) == 0 {
+				t.Errorf("%s section %q empty", p.Family, section)
+			}
+		}
+	}
+	// The two profiles capture the §8 contrast: antifascist blogs call
+	// for alerting employers; far-right blogs call for overloading.
+	var torch, ds AttackProfile
+	for _, p := range profiles {
+		if strings.Contains(p.Family, "Torch") {
+			torch = p
+		} else {
+			ds = p
+		}
+	}
+	if _, ok := torch.Sections["Private Reputational Harm"]; !ok {
+		t.Error("torch profile missing reputational harm")
+	}
+	if _, ok := ds.Sections["Overloading"]; !ok {
+		t.Error("daily stormer profile missing overloading")
+	}
+}
+
+func TestVerifyProfiles(t *testing.T) {
+	c := generateBlogs(t, 9)
+	shares := VerifyProfiles(c)
+	if len(shares) != 3 {
+		t.Fatalf("profile shares = %v", shares)
+	}
+	for name, share := range shares {
+		if share < 0.6 {
+			t.Errorf("%s: only %.2f of doxes match family profile", name, share)
+		}
+	}
+}

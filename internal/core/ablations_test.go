@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSpanStrategyAblation(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.SpanStrategyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"random-no-overlap", "begin-end", "overlapping", "random-length", "Best by AUC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCombinedTrainingAblation(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.CombinedTrainingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "boards") || !strings.Contains(out, "Combined training") {
+		t.Errorf("combined ablation incomplete:\n%s", out)
+	}
+	// The paper's finding: combined training should win on most
+	// platforms (sparse-positive platforms cannot train alone).
+	// Extract the "N/M platforms" fragment.
+	idx := strings.Index(out, "beats individual on ")
+	if idx < 0 {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	frag := out[idx+len("beats individual on "):]
+	var n, m int
+	if _, err := fmt.Sscanf(frag, "%d/%d", &n, &m); err != nil {
+		t.Fatalf("cannot parse summary %q", frag)
+	}
+	if n*2 < m {
+		t.Errorf("combined training won only %d/%d platforms", n, m)
+	}
+}
+
+func TestChatSplitAblation(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.ChatSplitAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Unified chat") || !strings.Contains(out, "Split (Discord/Telegram)") {
+		t.Errorf("chat split ablation incomplete:\n%s", out)
+	}
+}
+
+func TestActiveLearningAblation(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.ActiveLearningAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stratified", "uncertainty", "random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AL ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselineClassifierAblation(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.BaselineClassifierAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "logistic regression") || !strings.Contains(out, "naive Bayes") {
+		t.Errorf("baseline ablation incomplete:\n%s", out)
+	}
+}
+
+func TestPIICoOccurrenceReport(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.PIICoOccurrenceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Facebook -> email") || !strings.Contains(out, "address") {
+		t.Errorf("PII co-occurrence incomplete:\n%s", out)
+	}
+}
+
+func TestChiSquareReport(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.ChiSquareReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Mass Flagging", "Boards vs Chat", "significant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chi-square report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenderResponseReport(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.GenderResponseReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "male vs female") || !strings.Contains(out, "baseline") {
+		t.Errorf("gender response report incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"harassrepro/internal/annotate"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/taxonomy"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *Pipeline
+	pipeErr  error
+)
+
+// sharedPipeline runs the quick-scale pipeline once for all tests.
+func sharedPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = Run(QuickConfig(1))
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe
+}
+
+func TestPipelineRuns(t *testing.T) {
+	p := sharedPipeline(t)
+	if p.Dox == nil || p.CTH == nil {
+		t.Fatal("task runs missing")
+	}
+	if p.Dox.Model == nil || p.CTH.Model == nil {
+		t.Fatal("models missing")
+	}
+}
+
+func TestClassifierQuality(t *testing.T) {
+	p := sharedPipeline(t)
+	// Both filters must separate well on held-out data; the dox task is
+	// the easier one (Table 3's gap).
+	if p.Dox.Eval.AUC < 0.9 {
+		t.Errorf("dox AUC = %.3f", p.Dox.Eval.AUC)
+	}
+	if p.CTH.Eval.AUC < 0.85 {
+		t.Errorf("cth AUC = %.3f", p.CTH.Eval.AUC)
+	}
+	if p.Dox.Eval.Positive.F1 < 0.7 || p.CTH.Eval.Positive.F1 < 0.6 {
+		t.Errorf("positive F1: dox %.3f cth %.3f", p.Dox.Eval.Positive.F1, p.CTH.Eval.Positive.F1)
+	}
+}
+
+func TestSpanLengthSelection(t *testing.T) {
+	p := sharedPipeline(t)
+	// The sweep covers both candidate lengths for each task.
+	if len(p.Dox.EvalByLen) != 2 || len(p.CTH.EvalByLen) != 2 {
+		t.Fatalf("sweep sizes: dox %d cth %d", len(p.Dox.EvalByLen), len(p.CTH.EvalByLen))
+	}
+	// Chosen lengths are among the candidates.
+	if p.Dox.TextLen != 128 && p.Dox.TextLen != 512 {
+		t.Errorf("dox text length = %d", p.Dox.TextLen)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	p := sharedPipeline(t)
+	// Every task platform has a row with confirmed positives.
+	for _, plat := range taskPlatforms(annotate.TaskDox) {
+		r := p.Dox.Results[plat]
+		if r == nil {
+			t.Fatalf("no dox result for %s", plat)
+		}
+		if r.TruePositives == 0 {
+			t.Errorf("dox %s: no true positives", plat)
+		}
+		if r.Annotated > r.AboveThreshold {
+			t.Errorf("dox %s: annotated %d > above %d", plat, r.Annotated, r.AboveThreshold)
+		}
+		if len(r.Positives) != r.TruePositives {
+			t.Errorf("dox %s: positives slice mismatch", plat)
+		}
+	}
+	// The CTH task excludes pastes.
+	if _, ok := p.CTH.Results[corpus.PlatformPastes]; ok {
+		t.Error("CTH has a pastes row")
+	}
+	// Pastes dominates the dox above-threshold volume (Table 4).
+	if p.Dox.Results[corpus.PlatformPastes].AboveThreshold <= p.Dox.Results[corpus.PlatformGab].AboveThreshold {
+		t.Error("pastes should dominate dox volume")
+	}
+}
+
+func TestHeadlineReportingShare(t *testing.T) {
+	p := sharedPipeline(t)
+	// The paper's headline: over 50% of CTH include reporting.
+	cat := taxonomy.NewCategorizer()
+	var labels []taxonomy.Label
+	for _, d := range p.CTH.AllPositives() {
+		l := cat.Categorize(d.Text)
+		if l.Empty() {
+			l = taxonomy.NewLabel(taxonomy.SubGeneric)
+		}
+		labels = append(labels, l)
+	}
+	dist := taxonomy.NewDistribution(labels)
+	share := dist.ParentShare(taxonomy.Reporting)
+	if share < 0.40 {
+		t.Errorf("reporting share = %.3f, want > 0.40 (paper 51%%)", share)
+	}
+	// Mass flagging is the most prevalent subcategory overall.
+	best := taxonomy.SubMassFlagging
+	for _, s := range taxonomy.Subs() {
+		if dist.SubHits[s] > dist.SubHits[best] {
+			best = s
+		}
+	}
+	if best != taxonomy.SubMassFlagging && best != taxonomy.SubFalseReporting && best != taxonomy.SubReportingMisc && best != taxonomy.SubDoxing {
+		t.Errorf("most prevalent subcategory = %s", best)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	p := sharedPipeline(t)
+	for _, e := range Experiments() {
+		out, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("%s produced empty output", e.ID)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	p := sharedPipeline(t)
+	if _, err := p.RunExperiment("nope"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	out, err := p.RunExperiment("table7")
+	if err != nil || !strings.Contains(out, "Harm Risk") {
+		t.Errorf("table7 = %q, %v", out, err)
+	}
+}
+
+func TestScoreText(t *testing.T) {
+	p := sharedPipeline(t)
+	doxText := "DOX: John Target\nAddress: 123 Maple Street, Fairview, OH, 44120\nPhone: (212) 555-0142\nEmail: j@t.example"
+	benign := "anyone up for ranked tonight, patch notes are out"
+	if p.ScoreText(annotate.TaskDox, doxText) <= p.ScoreText(annotate.TaskDox, benign) {
+		t.Error("dox text should outscore benign text")
+	}
+	cthText := "we need to mass-report her twitter and youtube, spread the word"
+	if p.ScoreText(annotate.TaskCTH, cthText) <= p.ScoreText(annotate.TaskCTH, benign) {
+		t.Error("CTH text should outscore benign text")
+	}
+}
+
+func TestOverlapShapeMatchesPaper(t *testing.T) {
+	p := sharedPipeline(t)
+	out, err := p.OverlapReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "paper 8.53%") {
+		t.Errorf("overlap report missing context:\n%s", out)
+	}
+}
+
+func TestAgreementBands(t *testing.T) {
+	p := sharedPipeline(t)
+	// CTH annotation must be the harder task (lower chance-corrected
+	// agreement), the paper's core §5.3 observation. Raw disagreement is
+	// prevalence-confounded at small scales (the quick-scale dox pool is
+	// positive-heavy), so only kappa carries the ordering claim here.
+	if p.CTH.CrowdStats.Kappa >= p.Dox.CrowdStats.Kappa {
+		t.Errorf("cth kappa %.3f >= dox kappa %.3f", p.CTH.CrowdStats.Kappa, p.Dox.CrowdStats.Kappa)
+	}
+	if p.CTH.CrowdStats.DisagreementRate <= 0 || p.Dox.CrowdStats.DisagreementRate <= 0 {
+		t.Error("disagreement rates should be non-zero for noisy crowd pools")
+	}
+}
+
+func TestRepeatedDoxStats(t *testing.T) {
+	p := sharedPipeline(t)
+	st := p.RepeatedDoxStats()
+	if st.TotalDoxes == 0 {
+		t.Fatal("no linkable doxes")
+	}
+	if st.Repeated == 0 {
+		t.Error("no repeated doxes")
+	}
+	if st.SameDatasetShare < 0.8 {
+		t.Errorf("same-dataset share = %.3f", st.SameDatasetShare)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"harassrepro/internal/annotate"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/features"
+	"harassrepro/internal/model"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/tokenize"
+)
+
+// The paper open-sources its trained classifiers so platforms can deploy
+// them without access to training data ("we will open-source the
+// classifiers discussed in this analysis... We will not provide PII or
+// actual training data"). SaveModels/LoadDetector are that release
+// artifact: a directory holding the WordPiece vocabulary, both
+// classifier weight files, and a metadata file with span lengths,
+// feature-space size and the per-platform detection thresholds of
+// Table 4 — no corpus text.
+
+const (
+	vocabFile = "vocab.txt"
+	doxFile   = "dox.model"
+	cthFile   = "cth.model"
+	metaFile  = "meta.json"
+)
+
+// detectorMeta is the serialised detector configuration.
+type detectorMeta struct {
+	Version       int                `json:"version"`
+	Buckets       uint32             `json:"buckets"`
+	DoxTextLen    int                `json:"dox_text_len"`
+	CTHTextLen    int                `json:"cth_text_len"`
+	DoxThresholds map[string]float64 `json:"dox_thresholds"`
+	CTHThresholds map[string]float64 `json:"cth_thresholds"`
+}
+
+// SaveModels writes the trained filtering classifiers and their
+// configuration into dir (created if needed).
+func (p *Pipeline) SaveModels(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save models: %w", err)
+	}
+	if err := p.Tokenizer.Vocab().SaveFile(filepath.Join(dir, vocabFile)); err != nil {
+		return err
+	}
+	if err := p.Dox.Model.SaveFile(filepath.Join(dir, doxFile)); err != nil {
+		return err
+	}
+	if err := p.CTH.Model.SaveFile(filepath.Join(dir, cthFile)); err != nil {
+		return err
+	}
+	meta := detectorMeta{
+		Version:       1,
+		Buckets:       p.Config.Buckets,
+		DoxTextLen:    p.Dox.TextLen,
+		CTHTextLen:    p.CTH.TextLen,
+		DoxThresholds: map[string]float64{},
+		CTHThresholds: map[string]float64{},
+	}
+	for plat, r := range p.Dox.Results {
+		meta.DoxThresholds[string(plat)] = r.Threshold
+	}
+	for plat, r := range p.CTH.Results {
+		meta.CTHThresholds[string(plat)] = r.Threshold
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: save models: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), data, 0o644); err != nil {
+		return fmt.Errorf("core: save models: %w", err)
+	}
+	return nil
+}
+
+// Detector scores text with previously saved classifiers, without the
+// corpora or any pipeline state — the deployable artifact.
+type Detector struct {
+	tok    *tokenize.Tokenizer
+	hasher *features.Hasher
+	dox    *model.LogReg
+	cth    *model.LogReg
+	meta   detectorMeta
+	rng    *randx.Source
+}
+
+// LoadDetector reads a directory written by SaveModels.
+func LoadDetector(dir string) (*Detector, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load detector: %w", err)
+	}
+	var meta detectorMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("core: load detector: %w", err)
+	}
+	if meta.Version != 1 {
+		return nil, fmt.Errorf("core: load detector: unsupported version %d", meta.Version)
+	}
+	vocab, err := tokenize.LoadVocabFile(filepath.Join(dir, vocabFile))
+	if err != nil {
+		return nil, err
+	}
+	dox, err := model.LoadLogRegFile(filepath.Join(dir, doxFile))
+	if err != nil {
+		return nil, err
+	}
+	cth, err := model.LoadLogRegFile(filepath.Join(dir, cthFile))
+	if err != nil {
+		return nil, err
+	}
+	if dox.Buckets() != meta.Buckets || cth.Buckets() != meta.Buckets {
+		return nil, fmt.Errorf("core: load detector: model buckets do not match metadata (%d)", meta.Buckets)
+	}
+	return &Detector{
+		tok:    tokenize.NewTokenizer(vocab),
+		hasher: features.NewHasher(features.HasherConfig{Buckets: meta.Buckets, Bigrams: true}),
+		dox:    dox,
+		cth:    cth,
+		meta:   meta,
+		rng:    randx.New(1).Split("detector"),
+	}, nil
+}
+
+// vectorize mirrors the pipeline's text-to-vector transform.
+func (d *Detector) vectorize(text string, maxLen int) features.Vector {
+	toks := d.tok.Tokenize(text)
+	spans := tokenize.Spans(toks, maxLen, 2, tokenize.SpanRandomNoOverlap, d.rng)
+	if len(spans) == 1 {
+		return d.hasher.Vectorize(spans[0])
+	}
+	var merged []string
+	for _, s := range spans {
+		merged = append(merged, s...)
+	}
+	return d.hasher.Vectorize(merged)
+}
+
+// ScoreDox returns the doxing classifier's positive probability.
+func (d *Detector) ScoreDox(text string) float64 {
+	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen))
+}
+
+// ScoreCTH returns the call-to-harassment classifier's positive
+// probability.
+func (d *Detector) ScoreCTH(text string) float64 {
+	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen))
+}
+
+// Score scores text for the given task.
+func (d *Detector) Score(task annotate.Task, text string) float64 {
+	if task == annotate.TaskCTH {
+		return d.ScoreCTH(text)
+	}
+	return d.ScoreDox(text)
+}
+
+// DoxThreshold returns the saved Table 4 threshold for a platform, or
+// 0.5 when the platform is unknown.
+func (d *Detector) DoxThreshold(platform string) float64 {
+	if t, ok := d.meta.DoxThresholds[platform]; ok {
+		return t
+	}
+	return 0.5
+}
+
+// CTHThreshold returns the saved CTH threshold for a platform, or 0.5.
+func (d *Detector) CTHThreshold(platform string) float64 {
+	if t, ok := d.meta.CTHThresholds[platform]; ok {
+		return t
+	}
+	return 0.5
+}
+
+// ExplainCTH attributes the CTH classifier's decision on text to its
+// n-grams (top-k by absolute weight). Spans are not applied: explanation
+// considers the full token sequence.
+func (d *Detector) ExplainCTH(text string, topK int) []model.TokenWeight {
+	return model.Explain(d.cth, d.hasher, d.tok.Tokenize(text), topK)
+}
+
+// ExplainDox attributes the doxing classifier's decision on text to its
+// n-grams.
+func (d *Detector) ExplainDox(text string, topK int) []model.TokenWeight {
+	return model.Explain(d.dox, d.hasher, d.tok.Tokenize(text), topK)
+}
+
+// Platforms lists the platforms with saved thresholds.
+func (d *Detector) Platforms() []string {
+	seen := map[string]bool{}
+	for k := range d.meta.DoxThresholds {
+		seen[k] = true
+	}
+	for k := range d.meta.CTHThresholds {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for _, plat := range []corpus.Platform{corpus.PlatformBoards, corpus.PlatformDiscord, corpus.PlatformTelegram, corpus.PlatformGab, corpus.PlatformPastes} {
+		if seen[string(plat)] {
+			out = append(out, string(plat))
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveModelsLoadDetector(t *testing.T) {
+	p := sharedPipeline(t)
+	dir := t.TempDir()
+	if err := p.SaveModels(dir); err != nil {
+		t.Fatal(err)
+	}
+	// All four artifacts exist.
+	for _, f := range []string{vocabFile, doxFile, cthFile, metaFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("artifact %s: %v", f, err)
+		}
+	}
+	det, err := LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded detector agrees with the live pipeline on confirmed
+	// positives (exact scores can differ only by span randomness on
+	// long docs; short docs are deterministic).
+	for _, d := range p.CTH.AllPositives()[:10] {
+		live := p.Dox.Model.Score(p.vectorize(d.Text, p.Dox.TextLen, p.rng.Split("cmp")))
+		loaded := det.ScoreDox(d.Text)
+		if math.Abs(live-loaded) > 0.2 {
+			t.Errorf("scores diverge: live %.3f loaded %.3f", live, loaded)
+		}
+	}
+	// CTH positives score higher than benign text via the detector.
+	cthScore := det.ScoreCTH(p.CTH.AllPositives()[0].Text)
+	benign := det.ScoreCTH("anyone up for ranked tonight, patch notes are out")
+	if cthScore <= benign {
+		t.Errorf("detector CTH %.3f <= benign %.3f", cthScore, benign)
+	}
+	// Thresholds present for the task platforms.
+	if len(det.Platforms()) == 0 {
+		t.Error("no platforms in metadata")
+	}
+	for _, plat := range det.Platforms() {
+		if th := det.DoxThreshold(plat); th <= 0 || th > 1 {
+			t.Errorf("threshold %s = %v", plat, th)
+		}
+	}
+	if det.DoxThreshold("bogus") != 0.5 || det.CTHThreshold("bogus") != 0.5 {
+		t.Error("unknown platform should default to 0.5")
+	}
+}
+
+func TestLoadDetectorErrors(t *testing.T) {
+	if _, err := LoadDetector(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+	// Corrupt metadata.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, metaFile), []byte("not json"), 0o644)
+	if _, err := LoadDetector(dir); err == nil {
+		t.Error("corrupt metadata should error")
+	}
+	// Wrong version.
+	os.WriteFile(filepath.Join(dir, metaFile), []byte(`{"version":99}`), 0o644)
+	if _, err := LoadDetector(dir); err == nil {
+		t.Error("unsupported version should error")
+	}
+}
+
+func TestDetectorExplain(t *testing.T) {
+	p := sharedPipeline(t)
+	dir := t.TempDir()
+	if err := p.SaveModels(dir); err != nil {
+		t.Fatal(err)
+	}
+	det, err := LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := "we need to mass-report his twitter and youtube"
+	tw := det.ExplainCTH(text, 5)
+	if len(tw) == 0 || len(tw) > 5 {
+		t.Fatalf("explanation size = %d", len(tw))
+	}
+	// The top contributions for a positively scored CTH should sum
+	// positive when the score is above 0.5.
+	if det.ScoreCTH(text) > 0.5 {
+		sum := 0.0
+		for _, w := range det.ExplainCTH(text, 0) {
+			sum += w.Weight
+		}
+		if sum <= 0 {
+			t.Errorf("positive decision but attribution sum = %v", sum)
+		}
+	}
+	if got := det.ExplainDox("dropping her info now Address: 99 Cedar Lane", 3); len(got) == 0 {
+		t.Error("dox explanation empty")
+	}
+}

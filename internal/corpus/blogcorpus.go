@@ -1,0 +1,222 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"harassrepro/internal/pii"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/synth"
+)
+
+// BlogStyle distinguishes the two harassment registers §8 documents:
+// far-right blogs (dox + call to overload, sparse contact PII) and
+// antifascist blogs (narrative dox with rich PII, location facts, and
+// public/private reputational-harm goals).
+type BlogStyle int
+
+const (
+	// StyleFarRight matches The Daily Stormer pattern (§8.3).
+	StyleFarRight BlogStyle = iota
+	// StyleAntifascist matches The Torch / NoBlogs pattern (§8.2).
+	StyleAntifascist
+)
+
+// BlogSpec describes one generated blog.
+type BlogSpec struct {
+	Name  string
+	Style BlogStyle
+	// Posts is the total number of entries to generate.
+	Posts int
+	// Relevant is the number of entries that match the §8.1 PII keyword
+	// queries ("phone", "email", "dox", "dob:").
+	Relevant int
+	// Doxes is the number of actual doxes among the entries.
+	Doxes int
+	// KeywordMissDoxes is the number of actual doxes that deliberately
+	// avoid the keywords (the paper's Torch evaluation found the
+	// keyword query missed 10 of 33 doxes).
+	KeywordMissDoxes int
+}
+
+// DefaultBlogSpecs returns the three §8 blogs at 1/scale of their Table 8
+// post volumes. Relevant and dox counts scale with posts, preserving the
+// paper's relevance and dox rates; The Torch is small enough to keep at
+// full scale, including its 33 doxes of which 10 are keyword-invisible.
+func DefaultBlogSpecs(scale int) []BlogSpec {
+	if scale <= 0 {
+		scale = 10
+	}
+	clamp := func(v, lo int) int {
+		if v < lo {
+			return lo
+		}
+		return v
+	}
+	dsRelevant := clamp(3072/scale, 10)
+	nbRelevant := clamp(668/scale, 10)
+	return []BlogSpec{
+		{
+			Name:     "daily-stormer.example",
+			Style:    StyleFarRight,
+			Posts:    clamp(36851/scale, dsRelevant+10),
+			Relevant: dsRelevant,
+			Doxes:    clamp(dsRelevant*90/3072, 5), // 2.9% of relevant
+		},
+		{
+			Name:     "noblogs.example",
+			Style:    StyleAntifascist,
+			Posts:    clamp(78108/scale, nbRelevant+10),
+			Relevant: nbRelevant,
+			Doxes:    clamp(nbRelevant*66/668, 5), // 9.8% of relevant
+		},
+		{
+			Name:             "torch-network.example",
+			Style:            StyleAntifascist,
+			Posts:            93,
+			Relevant:         38,
+			Doxes:            33,
+			KeywordMissDoxes: 10,
+		},
+	}
+}
+
+// GenerateBlogs produces the blogs corpus from the given specs. Blog
+// entries are long-form; doxes follow the per-style §8 structure.
+func (g *Generator) GenerateBlogs(specs []BlogSpec) *Corpus {
+	c := &Corpus{Dataset: Blogs}
+	rng := g.rng.Split("blogs")
+	docN := 0
+	for _, spec := range specs {
+		brng := rng.Split(spec.Name)
+		keywordDoxes := spec.Doxes - spec.KeywordMissDoxes
+		if keywordDoxes < 0 {
+			keywordDoxes = 0
+		}
+		relevantNonDox := spec.Relevant - keywordDoxes
+		if relevantNonDox < 0 {
+			relevantNonDox = 0
+		}
+		benign := spec.Posts - spec.Relevant - spec.KeywordMissDoxes
+		if benign < 0 {
+			benign = 0
+		}
+
+		kinds := make([]int, 0, spec.Posts) // 0 benign, 1 relevant non-dox, 2 dox w/ keywords, 3 dox w/o keywords
+		for i := 0; i < benign; i++ {
+			kinds = append(kinds, 0)
+		}
+		for i := 0; i < relevantNonDox; i++ {
+			kinds = append(kinds, 1)
+		}
+		for i := 0; i < keywordDoxes; i++ {
+			kinds = append(kinds, 2)
+		}
+		for i := 0; i < spec.KeywordMissDoxes; i++ {
+			kinds = append(kinds, 3)
+		}
+		randx.Shuffle(brng, kinds)
+
+		for i, kind := range kinds {
+			drng := brng.SplitN("post", i)
+			var text string
+			var truth GroundTruth
+			switch kind {
+			case 1:
+				text = relevantNonDoxPost(drng)
+			case 2:
+				text, truth = g.blogDox(spec.Style, true, drng)
+			case 3:
+				text, truth = g.blogDox(spec.Style, false, drng)
+			default:
+				text = synth.Benign(synth.FlavorBlog, drng)
+			}
+			c.Docs = append(c.Docs, Document{
+				ID:       docID(PlatformBlogs, docN),
+				Dataset:  Blogs,
+				Platform: PlatformBlogs,
+				Domain:   spec.Name,
+				Author:   synth.SyntheticUsername(drng),
+				Date:     dateFor(Blogs, drng.Float64()),
+				Text:     text,
+				Truth:    truth,
+			})
+			docN++
+		}
+	}
+	return c
+}
+
+// relevantNonDoxPost renders a blog entry that matches the PII keyword
+// query without being a dox (e.g. contact boilerplate or commentary that
+// mentions doxing).
+func relevantNonDoxPost(rng *randx.Source) string {
+	templates := []string{
+		"send tips to the editors by email, or call the tip line phone during business hours. " + blogFiller(rng),
+		"another site got caught trying to dox one of our writers; statement below. " + blogFiller(rng),
+		"update your subscriptions: the newsletter email changed this month. " + blogFiller(rng),
+		"we never publish dob: fields or other records sent anonymously without verification. " + blogFiller(rng),
+	}
+	return randx.Pick(rng, templates)
+}
+
+func blogFiller(rng *randx.Source) string {
+	n := 2 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = synth.Benign(synth.FlavorBlog, rng)
+	}
+	return strings.Join(parts, " ")
+}
+
+// blogDox renders a long-form blog dox. Antifascist-style doxes open with
+// a narration of the target's activity, include rich PII and location
+// facts, and call for alerting the community/landlord/employer (§8.2).
+// Far-right-style doxes carry sparse contact PII (email or Twitter) and
+// usually a call to overload the target (§8.3). withKeywords controls
+// whether the §8.1 query keywords appear.
+func (g *Generator) blogDox(style BlogStyle, withKeywords bool, rng *randx.Source) (string, GroundTruth) {
+	targetID := g.doxTarget(PlatformBlogs, rng)
+	persona := g.personas[targetID]
+	subj, obj, poss := persona.Pronouns()
+	var b strings.Builder
+	var types []pii.Type
+
+	switch style {
+	case StyleFarRight:
+		fmt.Fprintf(&b, "%s has been writing the usual screeds again, and %s thinks nobody will answer. ", persona.FullName(), subj)
+		b.WriteString(blogFiller(rng) + " ")
+		if withKeywords {
+			fmt.Fprintf(&b, "%s email is %s. ", poss, persona.Email)
+			types = append(types, pii.Email)
+		} else {
+			fmt.Fprintf(&b, "reach %s on twitter: @%s. ", obj, persona.TwitterHandle)
+			types = append(types, pii.Twitter)
+		}
+		// 60% include an explicit call to overload (§8.3).
+		if rng.Bool(0.6) {
+			fmt.Fprintf(&b, "%s spam %s inbox until %s logs off for good.", synth.Mobilizer(rng), poss, subj)
+		}
+	default: // StyleAntifascist
+		fmt.Fprintf(&b, "%s of %s, %s, has been identified attending the rally downtown. ", persona.FullName(), persona.City, persona.State)
+		fmt.Fprintf(&b, "photos from the march match %s profile. the community deserves to know who organizes next door. ", poss)
+		b.WriteString(blogFiller(rng) + " ")
+		fmt.Fprintf(&b, "%s lives at %s. ", subj, persona.FullAddress())
+		types = append(types, pii.Address)
+		if withKeywords {
+			fmt.Fprintf(&b, "phone: %s. email: %s. ", persona.FormattedPhone(), persona.Email)
+			types = append(types, pii.Phone, pii.Email)
+		} else {
+			fmt.Fprintf(&b, "fb: %s. ", persona.FacebookHandle)
+			types = append(types, pii.Facebook)
+		}
+		fmt.Fprintf(&b, "alert %s landlord and %s employer at %s; post flyers if you are local. readers with more information are invited to send it in.", poss, poss, persona.Employer)
+	}
+	g.recordDox(targetID, PlatformBlogs)
+	return b.String(), GroundTruth{
+		IsDox:        true,
+		DoxPII:       types,
+		TargetID:     targetID,
+		TargetGender: persona.Gender,
+	}
+}

@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLDocument is the interchange form of a document, matching the
+// format cmd/corpusgen emits. Only Text is required; platform/thread
+// metadata enable the platform- and thread-aware analyses.
+type JSONLDocument struct {
+	ID          string `json:"id"`
+	Dataset     string `json:"dataset"`
+	Platform    string `json:"platform"`
+	Domain      string `json:"domain"`
+	ThreadID    string `json:"thread_id,omitempty"`
+	PosInThread int    `json:"pos_in_thread,omitempty"`
+	ThreadSize  int    `json:"thread_size,omitempty"`
+	Author      string `json:"author"`
+	Date        string `json:"date"`
+	Text        string `json:"text"`
+	IsCTH       *bool  `json:"is_cth,omitempty"`
+	IsDox       *bool  `json:"is_dox,omitempty"`
+}
+
+// ReadJSONL decodes one document per line from r. Blank lines are
+// skipped; a malformed line aborts with an error naming the line number.
+// Documents missing an ID are assigned sequential ones.
+func ReadJSONL(r io.Reader) ([]Document, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var out []Document
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jd JSONLDocument
+		if err := json.Unmarshal(raw, &jd); err != nil {
+			return nil, fmt.Errorf("corpus: jsonl line %d: %w", line, err)
+		}
+		if jd.Text == "" {
+			return nil, fmt.Errorf("corpus: jsonl line %d: missing text", line)
+		}
+		d := Document{
+			ID:          jd.ID,
+			Dataset:     Dataset(jd.Dataset),
+			Platform:    Platform(jd.Platform),
+			Domain:      jd.Domain,
+			ThreadID:    jd.ThreadID,
+			PosInThread: jd.PosInThread,
+			ThreadSize:  jd.ThreadSize,
+			Author:      jd.Author,
+			Date:        jd.Date,
+			Text:        jd.Text,
+		}
+		if d.ID == "" {
+			d.ID = fmt.Sprintf("jsonl-%08d", line)
+		}
+		if jd.IsCTH != nil {
+			d.Truth.IsCTH = *jd.IsCTH
+		}
+		if jd.IsDox != nil {
+			d.Truth.IsDox = *jd.IsDox
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: jsonl: %w", err)
+	}
+	return out, nil
+}
+
+// WriteJSONL encodes documents one per line to w. includeTruth controls
+// whether the hidden labels are emitted.
+func WriteJSONL(w io.Writer, docs []Document, includeTruth bool) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range docs {
+		d := &docs[i]
+		jd := JSONLDocument{
+			ID: d.ID, Dataset: string(d.Dataset), Platform: string(d.Platform),
+			Domain: d.Domain, ThreadID: d.ThreadID, PosInThread: d.PosInThread,
+			ThreadSize: d.ThreadSize, Author: d.Author, Date: d.Date, Text: d.Text,
+		}
+		if includeTruth {
+			jd.IsCTH = &d.Truth.IsCTH
+			jd.IsDox = &d.Truth.IsDox
+		}
+		if err := enc.Encode(jd); err != nil {
+			return fmt.Errorf("corpus: jsonl write: %w", err)
+		}
+	}
+	return bw.Flush()
+}

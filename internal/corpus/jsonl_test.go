@@ -1,0 +1,89 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, VolumeScale: 400_000, PositiveScale: 100})
+	gab := g.generateFlat(PlatformGab)
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, gab.Docs, true); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != gab.Len() {
+		t.Fatalf("round trip lost documents: %d vs %d", len(docs), gab.Len())
+	}
+	for i := range docs {
+		orig := &gab.Docs[i]
+		got := &docs[i]
+		if got.ID != orig.ID || got.Text != orig.Text || got.Platform != orig.Platform || got.Date != orig.Date {
+			t.Fatalf("doc %d differs after round trip", i)
+		}
+		if got.Truth.IsCTH != orig.Truth.IsCTH || got.Truth.IsDox != orig.Truth.IsDox {
+			t.Fatalf("doc %d truth differs after round trip", i)
+		}
+	}
+}
+
+func TestJSONLWithoutTruth(t *testing.T) {
+	g := NewGenerator(Config{Seed: 5, VolumeScale: 400_000, PositiveScale: 100})
+	gab := g.generateFlat(PlatformGab)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, gab.Docs[:10], false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "is_cth") {
+		t.Error("truth labels leaked without includeTruth")
+	}
+	docs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range docs {
+		if docs[i].Truth.IsCTH || docs[i].Truth.IsDox {
+			t.Error("truth should default to false")
+		}
+	}
+}
+
+func TestReadJSONLMinimal(t *testing.T) {
+	in := `{"text":"hello world"}
+{"text":"second doc","platform":"gab"}
+
+{"text":"third"}`
+	docs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	if docs[0].ID == "" || docs[0].ID == docs[2].ID {
+		t.Errorf("missing-ID docs not assigned unique IDs: %q %q", docs[0].ID, docs[2].ID)
+	}
+	if docs[1].Platform != PlatformGab {
+		t.Errorf("platform = %q", docs[1].Platform)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed line should error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"id":"x"}`)); err == nil {
+		t.Error("missing text should error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"text":"ok"}` + "\n" + `{broken`)); err == nil {
+		t.Error("error should name the bad line")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}

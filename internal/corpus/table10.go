@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"harassrepro/internal/gender"
+	"harassrepro/internal/taxonomy"
+)
+
+// t10 holds the Table 10 attack-type counts per inferred target gender
+// (columns: unknown, female, male; column totals 2,711 / 1,160 / 2,383).
+// The generator uses it to tilt the per-data-set attack mixture by target
+// gender so that both Table 11 (per data set) and Table 10 (per gender)
+// marginals are approximately reproduced.
+var t10 = map[taxonomy.Sub][3]float64{
+	taxonomy.SubDoxing:               {297, 215, 481},
+	taxonomy.SubLeakedChats:          {4, 13, 10},
+	taxonomy.SubNonConsensual:        {73, 75, 48},
+	taxonomy.SubOutingDeadnaming:     {1, 2, 3},
+	taxonomy.SubDoxPropagation:       {57, 19, 127},
+	taxonomy.SubContentLeakMisc:      {5, 4, 11},
+	taxonomy.SubImpersonatedProfiles: {65, 15, 16},
+	taxonomy.SubSyntheticPorn:        {2, 7, 2},
+	taxonomy.SubImpersonationMisc:    {5, 3, 2},
+	taxonomy.SubAccountLockout:       {2, 0.1, 3},
+	taxonomy.SubLockoutMisc:          {0.1, 1, 4},
+	taxonomy.SubNegativeRatings:      {9, 1, 9},
+	taxonomy.SubRaiding:              {283, 184, 236},
+	taxonomy.SubSpamming:             {23, 7, 26},
+	taxonomy.SubOverloadingMisc:      {2, 3, 22},
+	taxonomy.SubHashtagHijacking:     {69, 1, 8},
+	taxonomy.SubPublicOpinionMisc:    {112, 24, 41},
+	taxonomy.SubFalseReporting:       {371, 169, 337},
+	taxonomy.SubMassFlagging:         {818, 145, 532},
+	taxonomy.SubReportingMisc:        {427, 108, 299},
+	taxonomy.SubReputationPrivate:    {58, 87, 71},
+	taxonomy.SubReputationPublic:     {202, 54, 142},
+	taxonomy.SubReputationMisc:       {18, 17, 24},
+	taxonomy.SubStalkingTracking:     {11, 7, 10},
+	taxonomy.SubSurveillanceMisc:     {4, 2, 0.1},
+	taxonomy.SubHateSpeech:           {60, 40, 95},
+	taxonomy.SubUnwantedExplicit:     {10, 28, 18},
+	taxonomy.SubToxicMisc:            {4, 5, 30},
+	taxonomy.SubGeneric:              {114, 99, 155},
+}
+
+// t10Totals are the Table 10 column totals (annotated CTH per gender).
+var t10Totals = [3]float64{2711, 1160, 2383}
+
+func genderColumn(g gender.Gender) int {
+	switch g {
+	case gender.Female:
+		return 1
+	case gender.Male:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// genderTilt returns the multiplicative tilt for subcategory s under
+// inferred gender g: the ratio of the sub's within-gender share to its
+// overall share. Values above 1 mean the attack type is over-represented
+// for that gender (e.g. private reputational harm for female targets).
+func genderTilt(s taxonomy.Sub, g gender.Gender) float64 {
+	row, ok := t10[s]
+	if !ok {
+		return 1
+	}
+	col := genderColumn(g)
+	overall := (row[0] + row[1] + row[2]) / (t10Totals[0] + t10Totals[1] + t10Totals[2])
+	within := row[col] / t10Totals[col]
+	if overall == 0 {
+		return 1
+	}
+	return within / overall
+}

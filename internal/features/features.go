@@ -1,0 +1,209 @@
+// Package features converts token sequences into sparse feature vectors
+// for the filtering classifiers: hashed unigram/bigram counts with
+// optional TF-IDF weighting. Feature hashing keeps the model memory
+// footprint fixed regardless of vocabulary size, which is what lets the
+// classifiers score hundreds of thousands of documents per pipeline run —
+// the same "small memory footprint that can process large amounts of
+// data" constraint the paper faced (§5.2).
+package features
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Vector is a sparse feature vector: parallel index/value slices sorted by
+// index with no duplicate indices.
+type Vector struct {
+	Indices []uint32
+	Values  []float64
+}
+
+// Dot returns the dot product of the vector with a dense weight slice.
+// Indices beyond len(weights) are ignored.
+func (v Vector) Dot(weights []float64) float64 {
+	sum := 0.0
+	n := uint32(len(weights))
+	for i, idx := range v.Indices {
+		if idx < n {
+			sum += v.Values[i] * weights[idx]
+		}
+	}
+	return sum
+}
+
+// L2Norm returns the Euclidean norm of the vector.
+func (v Vector) L2Norm() float64 {
+	sum := 0.0
+	for _, x := range v.Values {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Scale multiplies all values in place by alpha and returns the vector.
+func (v Vector) Scale(alpha float64) Vector {
+	for i := range v.Values {
+		v.Values[i] *= alpha
+	}
+	return v
+}
+
+// NNZ returns the number of non-zero entries.
+func (v Vector) NNZ() int { return len(v.Indices) }
+
+// HasherConfig configures a feature Hasher.
+type HasherConfig struct {
+	// Buckets is the hashed feature space size. Defaults to 1<<18.
+	Buckets uint32
+	// Bigrams includes token bigrams in addition to unigrams.
+	Bigrams bool
+	// SignedHashing flips the sign of half the collisions, making hash
+	// collisions cancel in expectation (Weinberger et al.). Off by
+	// default because logistic regression handles unsigned counts fine
+	// at our scales.
+	SignedHashing bool
+}
+
+func (c *HasherConfig) fillDefaults() {
+	if c.Buckets == 0 {
+		c.Buckets = 1 << 18
+	}
+}
+
+// Hasher maps token sequences to sparse hashed count vectors.
+type Hasher struct {
+	cfg HasherConfig
+}
+
+// NewHasher returns a Hasher with the given configuration.
+func NewHasher(cfg HasherConfig) *Hasher {
+	cfg.fillDefaults()
+	return &Hasher{cfg: cfg}
+}
+
+// Buckets returns the feature space size.
+func (h *Hasher) Buckets() uint32 { return h.cfg.Buckets }
+
+func (h *Hasher) bucketAndSign(feature string) (uint32, float64) {
+	hash := fnv.New64a()
+	hash.Write([]byte(feature))
+	sum := hash.Sum64()
+	// FNV-1a's high bits are biased for short inputs, so take the sign
+	// from the lowest bit and the bucket from the remaining bits.
+	bucket := uint32((sum >> 1) % uint64(h.cfg.Buckets))
+	sign := 1.0
+	if h.cfg.SignedHashing && sum&1 != 0 {
+		sign = -1
+	}
+	return bucket, sign
+}
+
+// Vectorize maps tokens to a sparse vector of hashed feature counts.
+func (h *Hasher) Vectorize(tokens []string) Vector {
+	counts := map[uint32]float64{}
+	add := func(feature string) {
+		bucket, sign := h.bucketAndSign(feature)
+		counts[bucket] += sign
+	}
+	for _, t := range tokens {
+		add("u\x00" + t)
+	}
+	if h.cfg.Bigrams {
+		for i := 0; i+1 < len(tokens); i++ {
+			add("b\x00" + tokens[i] + "\x00" + tokens[i+1])
+		}
+	}
+	return fromMap(counts)
+}
+
+func fromMap(counts map[uint32]float64) Vector {
+	idx := make([]uint32, 0, len(counts))
+	for i, v := range counts {
+		if v != 0 {
+			idx = append(idx, i)
+			_ = v
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float64, len(idx))
+	for i, ix := range idx {
+		vals[i] = counts[ix]
+	}
+	return Vector{Indices: idx, Values: vals}
+}
+
+// TFIDF reweights hashed count vectors by inverse document frequency
+// learned from a fitting corpus.
+type TFIDF struct {
+	idf  map[uint32]float64
+	docs int
+	// defaultIDF is applied to buckets never seen during fitting.
+	defaultIDF float64
+}
+
+// FitTFIDF learns IDF weights from the given vectorized corpus.
+func FitTFIDF(corpus []Vector) *TFIDF {
+	df := map[uint32]int{}
+	for _, v := range corpus {
+		for _, idx := range v.Indices {
+			df[idx]++
+		}
+	}
+	n := len(corpus)
+	idf := make(map[uint32]float64, len(df))
+	for idx, d := range df {
+		idf[idx] = math.Log(float64(1+n)/float64(1+d)) + 1
+	}
+	return &TFIDF{
+		idf:        idf,
+		docs:       n,
+		defaultIDF: math.Log(float64(1+n)) + 1,
+	}
+}
+
+// Transform returns a new vector with sub-linear TF scaling
+// (1 + log count) multiplied by the learned IDF, L2-normalised.
+func (t *TFIDF) Transform(v Vector) Vector {
+	out := Vector{
+		Indices: append([]uint32(nil), v.Indices...),
+		Values:  make([]float64, len(v.Values)),
+	}
+	for i, c := range v.Values {
+		tf := c
+		if tf > 0 {
+			tf = 1 + math.Log(tf)
+		} else if tf < 0 {
+			tf = -(1 + math.Log(-tf))
+		}
+		idf, ok := t.idf[v.Indices[i]]
+		if !ok {
+			idf = t.defaultIDF
+		}
+		out.Values[i] = tf * idf
+	}
+	if norm := out.L2Norm(); norm > 0 {
+		out.Scale(1 / norm)
+	}
+	return out
+}
+
+// Docs returns the number of documents the TF-IDF model was fit on.
+func (t *TFIDF) Docs() int { return t.docs }
+
+// Pipeline bundles hashing plus optional TF-IDF into one text-to-vector
+// transform shared by training and inference.
+type Pipeline struct {
+	Hasher *Hasher
+	TFIDF  *TFIDF // nil disables IDF weighting
+}
+
+// Vectorize converts tokens into the final model input vector.
+func (p *Pipeline) Vectorize(tokens []string) Vector {
+	v := p.Hasher.Vectorize(tokens)
+	if p.TFIDF != nil {
+		v = p.TFIDF.Transform(v)
+	}
+	return v
+}

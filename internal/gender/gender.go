@@ -1,0 +1,55 @@
+// Package gender implements the paper's pronoun-based inference of the
+// likely gender of a dox or call-to-harassment target (§5.6): gendered
+// pronouns are extracted with word-boundary matching and the target's
+// likely gender is the pronoun group ("he/him/his" vs "she/her/hers")
+// that occurs most frequently. Ties and pronoun-free documents are
+// Unknown.
+//
+// As the paper notes, the method is a heuristic: it mislabels targets when
+// the attacker lacks knowledge of, or deliberately misuses, the target's
+// pronouns. The reproduction preserves those limitations.
+package gender
+
+import (
+	"regexp"
+)
+
+// Gender is the inferred likely gender of a target.
+type Gender string
+
+// Inference outcomes. The paper's Table 10 columns are Unknown, Female,
+// Male.
+const (
+	Unknown Gender = "unknown"
+	Female  Gender = "female"
+	Male    Gender = "male"
+)
+
+var (
+	reMale   = regexp.MustCompile(`(?i)\b(?:he|him|his|himself)\b`)
+	reFemale = regexp.MustCompile(`(?i)\b(?:she|her|hers|herself)\b`)
+)
+
+// Counts reports the number of male-group and female-group pronouns in
+// text.
+func Counts(text string) (male, female int) {
+	return len(reMale.FindAllString(text, -1)), len(reFemale.FindAllString(text, -1))
+}
+
+// Infer returns the likely target gender for text by majority pronoun
+// group, Unknown on ties or absence of pronouns.
+func Infer(text string) Gender {
+	male, female := Counts(text)
+	switch {
+	case male > female:
+		return Male
+	case female > male:
+		return Female
+	default:
+		return Unknown
+	}
+}
+
+// All returns the three gender values in the paper's Table 10 column
+// order.
+func All() []Gender { return []Gender{Unknown, Female, Male} }

@@ -1,0 +1,68 @@
+package gender
+
+import "testing"
+
+func TestInfer(t *testing.T) {
+	cases := []struct {
+		text string
+		want Gender
+	}{
+		{"report him to his boss, he deserves it", Male},
+		{"she posted her address, get her", Female},
+		{"post the dox already", Unknown},
+		{"he said she said", Unknown},                     // tie
+		{"He met her and told him about his plans", Male}, // 3 male vs 1 female
+		{"HE and HIS and HIM", Male},                      // case-insensitive
+		{"the shepherd held a herd of sheep", Unknown},    // no word-boundary leaks
+		{"theme cache history", Unknown},                  // substrings only
+		{"herself was doxed and her info leaked", Female},
+		{"himself admitted it", Male},
+	}
+	for _, c := range cases {
+		if got := Infer(c.text); got != c.want {
+			t.Errorf("Infer(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	m, f := Counts("he told her that his sister saw her")
+	if m != 2 || f != 2 {
+		t.Errorf("Counts = (%d, %d), want (2, 2)", m, f)
+	}
+	m, f = Counts("")
+	if m != 0 || f != 0 {
+		t.Errorf("empty Counts = (%d, %d)", m, f)
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0] != Unknown || all[1] != Female || all[2] != Male {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestAccuracyOnPlantedSample(t *testing.T) {
+	// The paper validated the method on 123 pronoun-bearing doxes with
+	// 94.3% accuracy. Mirror the check: planted pronoun-dominant docs
+	// must be recovered.
+	males := []string{
+		"his address is below, report him",
+		"he works at the plant, tell his boss",
+	}
+	females := []string{
+		"her facebook is linked, she posts daily",
+		"expose her, she runs the account herself",
+	}
+	for _, m := range males {
+		if Infer(m) != Male {
+			t.Errorf("male doc mislabelled: %q", m)
+		}
+	}
+	for _, f := range females {
+		if Infer(f) != Female {
+			t.Errorf("female doc mislabelled: %q", f)
+		}
+	}
+}

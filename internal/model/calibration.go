@@ -1,0 +1,82 @@
+package model
+
+import "math"
+
+// The threshold-selection procedure (§5.5) interprets classifier scores
+// as probabilities; its behaviour depends on how well calibrated they
+// are. Calibration quantifies that: reliability bins, expected
+// calibration error and the Brier score.
+
+// CalibrationBin is one reliability-diagram bin.
+type CalibrationBin struct {
+	// Lo and Hi bound the predicted-probability range [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of predictions in the bin.
+	Count int
+	// MeanPredicted is the average predicted probability in the bin.
+	MeanPredicted float64
+	// FractionPositive is the empirical positive rate in the bin.
+	FractionPositive float64
+}
+
+// CalibrationReport summarises score calibration.
+type CalibrationReport struct {
+	Bins []CalibrationBin
+	// ECE is the expected calibration error: the prediction-weighted
+	// mean absolute gap between predicted probability and empirical
+	// positive rate.
+	ECE float64
+	// Brier is the mean squared error of the probabilistic predictions.
+	Brier float64
+}
+
+// Calibrate evaluates scorer s over the examples with the given number
+// of equal-width probability bins (10 matches the paper's active-
+// learning strata).
+func Calibrate(s Scorer, examples []Example, bins int) CalibrationReport {
+	if bins <= 0 {
+		bins = 10
+	}
+	type acc struct {
+		n    int
+		pSum float64
+		pos  int
+	}
+	accs := make([]acc, bins)
+	brierSum := 0.0
+	for _, ex := range examples {
+		p := s.Score(ex.X)
+		b := int(p * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		accs[b].n++
+		accs[b].pSum += p
+		y := 0.0
+		if ex.Y {
+			accs[b].pos++
+			y = 1
+		}
+		d := p - y
+		brierSum += d * d
+	}
+	rep := CalibrationReport{}
+	total := len(examples)
+	for i, a := range accs {
+		bin := CalibrationBin{
+			Lo: float64(i) / float64(bins),
+			Hi: float64(i+1) / float64(bins),
+		}
+		if a.n > 0 {
+			bin.Count = a.n
+			bin.MeanPredicted = a.pSum / float64(a.n)
+			bin.FractionPositive = float64(a.pos) / float64(a.n)
+			rep.ECE += float64(a.n) / float64(total) * math.Abs(bin.MeanPredicted-bin.FractionPositive)
+		}
+		rep.Bins = append(rep.Bins, bin)
+	}
+	if total > 0 {
+		rep.Brier = brierSum / float64(total)
+	}
+	return rep
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"harassrepro/internal/features"
+)
+
+// constScorer always predicts the same probability.
+type constScorer struct{ p float64 }
+
+func (c constScorer) Score(features.Vector) float64 { return c.p }
+
+func TestCalibratePerfectlyCalibratedConstant(t *testing.T) {
+	// A scorer predicting 0.3 on a pool with 30% positives is perfectly
+	// calibrated: ECE ~ 0, Brier = p(1-p) = 0.21.
+	var examples []Example
+	for i := 0; i < 1000; i++ {
+		examples = append(examples, Example{Y: i%10 < 3})
+	}
+	rep := Calibrate(constScorer{0.3}, examples, 10)
+	if rep.ECE > 1e-9 {
+		t.Errorf("ECE = %v, want 0", rep.ECE)
+	}
+	if math.Abs(rep.Brier-0.21) > 1e-9 {
+		t.Errorf("Brier = %v, want 0.21", rep.Brier)
+	}
+	// All mass in the [0.3, 0.4) bin.
+	if rep.Bins[3].Count != 1000 {
+		t.Errorf("bin 3 count = %d", rep.Bins[3].Count)
+	}
+}
+
+func TestCalibrateMiscalibratedConstant(t *testing.T) {
+	// Predicting 0.9 on an all-negative pool: ECE = 0.9, Brier = 0.81.
+	var examples []Example
+	for i := 0; i < 100; i++ {
+		examples = append(examples, Example{Y: false})
+	}
+	rep := Calibrate(constScorer{0.9}, examples, 10)
+	if math.Abs(rep.ECE-0.9) > 1e-9 {
+		t.Errorf("ECE = %v, want 0.9", rep.ECE)
+	}
+	if math.Abs(rep.Brier-0.81) > 1e-9 {
+		t.Errorf("Brier = %v, want 0.81", rep.Brier)
+	}
+}
+
+func TestCalibrateTrainedModel(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 14})
+	train := synthExamples(600, 21, h)
+	m, err := TrainLogReg(train, LogRegConfig{Buckets: 1 << 14, Epochs: 5, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Calibrate(m, synthExamples(400, 23, h), 10)
+	// A well-trained model on separable data should be reasonably
+	// calibrated and far better than chance.
+	if rep.Brier > 0.1 {
+		t.Errorf("Brier = %v on separable data", rep.Brier)
+	}
+	if rep.ECE > 0.2 {
+		t.Errorf("ECE = %v", rep.ECE)
+	}
+	// Bin structure sanity.
+	total := 0
+	for _, b := range rep.Bins {
+		total += b.Count
+		if b.Count > 0 && (b.MeanPredicted < b.Lo-1e-9 || b.MeanPredicted > b.Hi+1e-9) {
+			t.Errorf("bin [%v,%v) mean predicted %v outside range", b.Lo, b.Hi, b.MeanPredicted)
+		}
+	}
+	if total != 400 {
+		t.Errorf("bins cover %d of 400", total)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	rep := Calibrate(constScorer{0.5}, nil, 10)
+	if rep.Brier != 0 || rep.ECE != 0 || len(rep.Bins) != 10 {
+		t.Errorf("empty calibration = %+v", rep)
+	}
+}

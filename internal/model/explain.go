@@ -1,0 +1,75 @@
+package model
+
+import (
+	"sort"
+
+	"harassrepro/internal/features"
+)
+
+// Feature hashing is one-way: bucket indices cannot be inverted back to
+// n-grams. Explanation therefore works forward: given the tokens of a
+// document, each token's (and bigram's) learned weight is looked up
+// through the same hash, attributing the classifier's margin to the
+// input's own n-grams — the standard linear-model explanation.
+
+// TokenWeight is one n-gram's contribution to a classifier decision.
+type TokenWeight struct {
+	// NGram is the unigram or "a b" bigram text.
+	NGram string
+	// Weight is the learned coefficient (counts multiplied in).
+	Weight float64
+}
+
+// Explain attributes the model's decision on the token sequence to its
+// n-grams, returning contributions sorted by descending absolute weight.
+// The hasher must be the one used at training time. topK <= 0 returns
+// all contributions.
+func Explain(m *LogReg, hasher *features.Hasher, tokens []string, topK int) []TokenWeight {
+	contrib := map[string]float64{}
+	addNGram := func(ngram string, v features.Vector) {
+		w := 0.0
+		for i, idx := range v.Indices {
+			if int(idx) < len(m.weights) {
+				w += v.Values[i] * m.weights[idx]
+			}
+		}
+		contrib[ngram] += w
+	}
+	for _, tok := range tokens {
+		addNGram(tok, hasher.Vectorize([]string{tok}))
+	}
+	// Bigrams: vectorizing a pair includes its unigrams too, so isolate
+	// the bigram bucket by subtracting the unigram contributions.
+	for i := 0; i+1 < len(tokens); i++ {
+		pair := hasher.Vectorize(tokens[i : i+2])
+		w := pair.Dot(m.weights)
+		w -= hasher.Vectorize(tokens[i : i+1]).Dot(m.weights)
+		w -= hasher.Vectorize(tokens[i+1 : i+2]).Dot(m.weights)
+		if w != 0 {
+			contrib[tokens[i]+" "+tokens[i+1]] += w
+		}
+	}
+
+	out := make([]TokenWeight, 0, len(contrib))
+	for ng, w := range contrib {
+		out = append(out, TokenWeight{NGram: ng, Weight: w})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		wa, wb := abs(out[a].Weight), abs(out[b].Weight)
+		if wa != wb {
+			return wa > wb
+		}
+		return out[a].NGram < out[b].NGram
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

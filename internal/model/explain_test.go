@@ -1,0 +1,70 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"harassrepro/internal/features"
+)
+
+func TestExplainAttributesSignalTokens(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 14, Bigrams: true})
+	train := synthExamples(600, 31, h)
+	m, err := TrainLogReg(train, LogRegConfig{Buckets: 1 << 14, Epochs: 5, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "report" and "dox" are positive-vocabulary tokens in synthExamples;
+	// "cat" and "coffee" negative. Their learned weights must separate.
+	tw := Explain(m, h, []string{"report", "dox", "cat", "coffee", "the"}, 0)
+	byNGram := map[string]float64{}
+	for _, x := range tw {
+		byNGram[x.NGram] = x.Weight
+	}
+	if byNGram["report"] <= 0 || byNGram["dox"] <= 0 {
+		t.Errorf("positive tokens not positive: report=%v dox=%v", byNGram["report"], byNGram["dox"])
+	}
+	if byNGram["cat"] >= 0 || byNGram["coffee"] >= 0 {
+		t.Errorf("negative tokens not negative: cat=%v coffee=%v", byNGram["cat"], byNGram["coffee"])
+	}
+	// Shared noise token sits between the class extremes.
+	if abs(byNGram["the"]) > abs(byNGram["report"]) {
+		t.Errorf("noise token out-weighs signal: the=%v report=%v", byNGram["the"], byNGram["report"])
+	}
+}
+
+func TestExplainSortedAndTopK(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 14, Bigrams: true})
+	train := synthExamples(300, 33, h)
+	m, _ := TrainLogReg(train, LogRegConfig{Buckets: 1 << 14, Epochs: 3, Seed: 34})
+	tokens := []string{"report", "raid", "spam", "cat", "music", "movie"}
+	all := Explain(m, h, tokens, 0)
+	for i := 1; i < len(all); i++ {
+		if abs(all[i].Weight) > abs(all[i-1].Weight)+1e-12 {
+			t.Fatal("contributions not sorted by |weight|")
+		}
+	}
+	top := Explain(m, h, tokens, 3)
+	if len(top) != 3 {
+		t.Fatalf("topK = %d", len(top))
+	}
+	// Bigrams included.
+	foundBigram := false
+	for _, x := range all {
+		if strings.Contains(x.NGram, " ") {
+			foundBigram = true
+		}
+	}
+	if !foundBigram {
+		t.Error("no bigram contributions")
+	}
+}
+
+func TestExplainEmpty(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 10})
+	train := synthExamples(50, 35, h)
+	m, _ := TrainLogReg(train, LogRegConfig{Buckets: 1 << 10, Epochs: 1, Seed: 36})
+	if got := Explain(m, h, nil, 5); len(got) != 0 {
+		t.Errorf("empty tokens produced %v", got)
+	}
+}

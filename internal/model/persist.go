@@ -1,0 +1,81 @@
+package model
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persistedLogReg is the on-disk form of a trained classifier. The paper
+// open-sources its trained filtering classifiers (without training data
+// or PII); this is the equivalent release artifact for this
+// reproduction: weights and configuration only, never corpus text.
+type persistedLogReg struct {
+	Version int
+	Weights []float64
+	Bias    float64
+	Config  LogRegConfig
+}
+
+const persistVersion = 1
+
+// Save writes the model to w in gob format.
+func (m *LogReg) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(persistedLogReg{
+		Version: persistVersion,
+		Weights: m.weights,
+		Bias:    m.bias,
+		Config:  m.cfg,
+	})
+}
+
+// SaveFile writes the model to the named file.
+func (m *LogReg) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := m.Save(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadLogReg reads a model previously written with Save.
+func LoadLogReg(r io.Reader) (*LogReg, error) {
+	dec := gob.NewDecoder(r)
+	var p persistedLogReg
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("model: load: unsupported version %d", p.Version)
+	}
+	if uint32(len(p.Weights)) != p.Config.Buckets {
+		return nil, fmt.Errorf("model: load: weight count %d does not match buckets %d", len(p.Weights), p.Config.Buckets)
+	}
+	return &LogReg{weights: p.Weights, bias: p.Bias, cfg: p.Config}, nil
+}
+
+// LoadLogRegFile reads a model from the named file.
+func LoadLogRegFile(path string) (*LogReg, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadLogReg(bufio.NewReader(f))
+}
+
+// Buckets returns the model's feature-space size, needed to construct a
+// matching feature hasher at load time.
+func (m *LogReg) Buckets() uint32 { return m.cfg.Buckets }

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"harassrepro/internal/features"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 14})
+	train := synthExamples(200, 1, h)
+	m, err := TrainLogReg(train, LogRegConfig{Buckets: 1 << 14, Epochs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLogReg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Buckets() != m.Buckets() {
+		t.Fatalf("buckets: %d vs %d", loaded.Buckets(), m.Buckets())
+	}
+	for _, ex := range train[:50] {
+		if got, want := loaded.Score(ex.X), m.Score(ex.X); got != want {
+			t.Fatalf("scores diverge after round trip: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 12})
+	train := synthExamples(100, 3, h)
+	m, _ := TrainLogReg(train, LogRegConfig{Buckets: 1 << 12, Epochs: 2, Seed: 4})
+	path := filepath.Join(t.TempDir(), "dox.model")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLogRegFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Score(train[0].X) != m.Score(train[0].X) {
+		t.Fatal("file round trip diverged")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadLogReg(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage input should error")
+	}
+	if _, err := LoadLogRegFile(filepath.Join(t.TempDir(), "missing.model")); err == nil {
+		t.Error("missing file should error")
+	}
+	// Corrupted weight count.
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 10})
+	train := synthExamples(50, 5, h)
+	m, _ := TrainLogReg(train, LogRegConfig{Buckets: 1 << 10, Epochs: 1, Seed: 6})
+	var buf bytes.Buffer
+	m.Save(&buf)
+	// Truncate the stream mid-way.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadLogReg(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should error")
+	}
+}

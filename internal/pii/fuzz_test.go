@@ -1,0 +1,101 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+// TestExtractNeverPanicsOnRandomInput drives the extractors with
+// arbitrary strings: no panic, deterministic output, values drawn from
+// the input's alphabet.
+func TestExtractNeverPanicsOnRandomInput(t *testing.T) {
+	e := NewExtractor()
+	err := quick.Check(func(s string) bool {
+		m1 := e.Extract(s)
+		m2 := e.Extract(s)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractValidUTF8 checks that normalised values remain valid UTF-8
+// even when the input contains multi-byte runes.
+func TestExtractValidUTF8(t *testing.T) {
+	e := NewExtractor()
+	inputs := []string{
+		"Ünïcode text with phone 212-555-0142 and more",
+		"日本語 email: user@example.org 中文",
+		strings.Repeat("é", 100) + " fb: some.person ",
+	}
+	for _, in := range inputs {
+		for _, m := range e.Extract(in) {
+			if !utf8.ValidString(m.Value) {
+				t.Errorf("invalid UTF-8 value %q from %q", m.Value, in)
+			}
+		}
+	}
+}
+
+// TestExtractAdversarialShapes probes inputs engineered to sit on
+// pattern boundaries.
+func TestExtractAdversarialShapes(t *testing.T) {
+	e := NewExtractor()
+	cases := []struct {
+		text     string
+		wantType Type
+		want     bool
+	}{
+		// 17-digit run: the 16-digit card pattern must not fire inside it.
+		{"41111111111111117", CreditCard, false},
+		// Card split across lines is not matched (precision choice).
+		{"4111 1111\n1111 1111", CreditCard, false},
+		// SSN-like but part of a longer digit run.
+		{"1219-09-99993", SSN, false},
+		// Email inside angle brackets.
+		{"contact <j.doe@example.org> today", Email, true},
+		// Phone glued to a word boundary via punctuation.
+		{"call:212-555-0142.", Phone, true},
+		// Handle at end of string.
+		{"fb: final.handle", Facebook, true},
+		// URL with query string after the handle.
+		{"https://twitter.com/someuser?ref=abc", Twitter, true},
+	}
+	for _, c := range cases {
+		found := false
+		for _, m := range e.Extract(c.text) {
+			if m.Type == c.wantType {
+				found = true
+			}
+		}
+		if found != c.want {
+			t.Errorf("Extract(%q) %s: got %v, want %v", c.text, c.wantType, found, c.want)
+		}
+	}
+}
+
+// TestExtractLargeInput exercises a pathological large document.
+func TestExtractLargeInput(t *testing.T) {
+	e := NewExtractor()
+	big := strings.Repeat("lorem ipsum 123 ", 20000) // ~320KB
+	if got := e.Extract(big); len(got) != 0 {
+		t.Errorf("noise input produced %d matches", len(got))
+	}
+	// Large input with one needle.
+	needle := big + " ssn 219-09-9999 " + big
+	got := e.Extract(needle)
+	if len(got) != 1 || got[0].Type != SSN {
+		t.Errorf("needle not found in large input: %v", got)
+	}
+}

@@ -1,0 +1,291 @@
+// Package pii implements the paper's 12 regular-expression extractors for
+// personally identifiable information in doxes and calls to harassment
+// (§5.6): US street addresses, per-network credit card numbers, email
+// addresses, Facebook profiles, Instagram profiles, US phone numbers, US
+// Social Security Numbers, Twitter handles, and YouTube channels.
+//
+// Following the paper, the extractors are optimised for precision: only US
+// formats are detected for phones, addresses and SSNs; credit cards use a
+// separate pattern per card network (validated with the Luhn checksum);
+// and social-media extractors combine profile-URL patterns (with reserved
+// path stoplists) and "site: username"-style mentions constrained by each
+// platform's username rules.
+package pii
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Type identifies a category of personally identifiable information.
+type Type string
+
+// The PII types extracted by the pipeline, matching Table 6's rows.
+const (
+	Address    Type = "address"
+	CreditCard Type = "card"
+	Email      Type = "email"
+	Facebook   Type = "facebook"
+	Instagram  Type = "instagram"
+	Phone      Type = "phone"
+	SSN        Type = "ssn"
+	Twitter    Type = "twitter"
+	YouTube    Type = "youtube"
+)
+
+// AllTypes lists every extractable PII type in Table 6 order.
+func AllTypes() []Type {
+	return []Type{Address, CreditCard, Email, Facebook, Instagram, Phone, SSN, Twitter, YouTube}
+}
+
+// Match is one extracted PII instance.
+type Match struct {
+	Type  Type
+	Value string // normalised matched text
+}
+
+var (
+	// US street address: number + street name + suffix, optionally
+	// followed by a city/state/ZIP tail. Adapted (as the paper adapted
+	// CommonRegex) to favour precision.
+	reAddress = regexp.MustCompile(`(?i)\b\d{1,6}\s+(?:[A-Za-z0-9.'-]+\s){0,3}?(?:street|st|avenue|ave|road|rd|boulevard|blvd|drive|dr|lane|ln|court|ct|circle|cir|way|place|pl|terrace|ter)\.?(?:\s*,?\s*(?:apt|apartment|unit|suite|ste|#)\s*\.?\s*[A-Za-z0-9-]+)?(?:\s*,\s*[A-Za-z .]+,\s*[A-Z]{2}\s*,?\s*\d{5}(?:-\d{4})?)?\b`)
+
+	// US phone numbers: optional +1, separators, area code required.
+	rePhone = regexp.MustCompile(`(?:\+?1[-.\s]?)?\(?\b[2-9]\d{2}\)?[-.\s]\d{3}[-.\s]\d{4}\b`)
+
+	// US SSN: strict AAA-GG-SSSS with the invalid prefixes excluded.
+	reSSN = regexp.MustCompile(`\b(?:\d{3}-\d{2}-\d{4})\b`)
+
+	reEmail = regexp.MustCompile(`\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b`)
+
+	// Per-network credit card patterns (the paper used "a different
+	// regular expression for each type of card company" for precision).
+	reCardVisa       = regexp.MustCompile(`\b4\d{3}[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b`)
+	reCardMastercard = regexp.MustCompile(`\b5[1-5]\d{2}[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b`)
+	reCardAmex       = regexp.MustCompile(`\b3[47]\d{2}[ -]?\d{6}[ -]?\d{5}\b`)
+	reCardDiscover   = regexp.MustCompile(`\b6(?:011|5\d{2})[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b`)
+
+	// Profile URL patterns.
+	reFacebookURL  = regexp.MustCompile(`(?i)(?:https?://)?(?:www\.|m\.)?facebook\.com/([A-Za-z0-9.]{5,50})\b`)
+	reInstagramURL = regexp.MustCompile(`(?i)(?:https?://)?(?:www\.)?instagram\.com/([A-Za-z0-9._]{1,30})\b`)
+	reTwitterURL   = regexp.MustCompile(`(?i)(?:https?://)?(?:www\.|mobile\.)?twitter\.com/([A-Za-z0-9_]{1,15})\b`)
+	reYouTubeURL   = regexp.MustCompile(`(?i)(?:https?://)?(?:www\.)?youtube\.com/(?:(?:c|channel|user)/)?(@?[A-Za-z0-9_-]{3,60})\b`)
+
+	// "site: username" mention patterns (case-insensitive site name or
+	// abbreviation, optional colon/space, username per platform rules).
+	reFacebookMention  = regexp.MustCompile(`(?i)\b(?:facebook|fb)\s*:\s*([A-Za-z0-9.]{5,50})\b`)
+	reInstagramMention = regexp.MustCompile(`(?i)\b(?:instagram|ig|insta)\s*:\s*(@?[A-Za-z0-9._]{1,30})\b`)
+	reTwitterMention   = regexp.MustCompile(`(?i)\b(?:twitter|twtr)\s*:\s*(@?[A-Za-z0-9_]{1,15})\b`)
+	reYouTubeMention   = regexp.MustCompile(`(?i)\b(?:youtube|yt)\s*:\s*(@?[A-Za-z0-9_-]{3,60})\b`)
+)
+
+// reservedPaths holds per-platform path components that follow the same
+// URL shape as user profiles but are site functionality, not accounts —
+// the paper's "stopwords ... reserved for site functionalities".
+var reservedPaths = map[Type]map[string]bool{
+	Facebook: toSet("marketplace", "groups", "events", "pages", "watch",
+		"gaming", "stories", "photos", "settings", "login", "sharer",
+		"profile.php", "help", "policies", "privacy", "business"),
+	Instagram: toSet("explore", "accounts", "about", "developer", "reels",
+		"stories", "direct", "legal", "p"),
+	Twitter: toSet("home", "explore", "search", "notifications", "messages",
+		"settings", "i", "intent", "share", "hashtag", "login", "signup",
+		"privacy", "tos", "following", "followers"),
+	YouTube: toSet("watch", "results", "playlist", "feed", "shorts",
+		"premium", "gaming", "music", "about", "ads", "creators", "t",
+		"embed", "live"),
+}
+
+func toSet(items ...string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}
+
+// Extractor extracts PII matches from text.
+type Extractor struct{}
+
+// NewExtractor returns a ready-to-use Extractor. The zero value is also
+// usable; the constructor exists for API symmetry and future options.
+func NewExtractor() *Extractor { return &Extractor{} }
+
+// Extract returns all PII matches in text, de-duplicated per (type,
+// normalised value), in deterministic order.
+func (e *Extractor) Extract(text string) []Match {
+	var out []Match
+	out = append(out, extractSimple(Address, reAddress, text, normaliseSpace)...)
+	out = append(out, extractCards(text)...)
+	out = append(out, extractSimple(Email, reEmail, text, strings.ToLower)...)
+	out = append(out, extractHandles(Facebook, reFacebookURL, reFacebookMention, text)...)
+	out = append(out, extractHandles(Instagram, reInstagramURL, reInstagramMention, text)...)
+	out = append(out, extractPhones(text)...)
+	out = append(out, extractSSNs(text)...)
+	out = append(out, extractHandles(Twitter, reTwitterURL, reTwitterMention, text)...)
+	out = append(out, extractHandles(YouTube, reYouTubeURL, reYouTubeMention, text)...)
+	return dedupe(out)
+}
+
+// Types returns the distinct PII types present in text, in Table 6 order.
+func (e *Extractor) Types(text string) []Type {
+	present := map[Type]bool{}
+	for _, m := range e.Extract(text) {
+		present[m.Type] = true
+	}
+	var out []Type
+	for _, t := range AllTypes() {
+		if present[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func extractSimple(t Type, re *regexp.Regexp, text string, norm func(string) string) []Match {
+	var out []Match
+	for _, m := range re.FindAllString(text, -1) {
+		out = append(out, Match{Type: t, Value: norm(m)})
+	}
+	return out
+}
+
+func extractPhones(text string) []Match {
+	var out []Match
+	for _, m := range rePhone.FindAllString(text, -1) {
+		digits := digitsOnly(m)
+		if len(digits) == 11 && digits[0] == '1' {
+			digits = digits[1:]
+		}
+		if len(digits) != 10 {
+			continue
+		}
+		// Exchange code cannot start with 0 or 1 in NANP.
+		if digits[3] == '0' || digits[3] == '1' {
+			continue
+		}
+		out = append(out, Match{Type: Phone, Value: digits})
+	}
+	return out
+}
+
+func extractSSNs(text string) []Match {
+	var out []Match
+	for _, m := range reSSN.FindAllString(text, -1) {
+		area := m[:3]
+		group := m[4:6]
+		serial := m[7:]
+		// SSA-invalid ranges: area 000, 666, 900-999; group 00; serial 0000.
+		if area == "000" || area == "666" || area[0] == '9' {
+			continue
+		}
+		if group == "00" || serial == "0000" {
+			continue
+		}
+		out = append(out, Match{Type: SSN, Value: m})
+	}
+	return out
+}
+
+func extractCards(text string) []Match {
+	var out []Match
+	for _, re := range []*regexp.Regexp{reCardVisa, reCardMastercard, reCardAmex, reCardDiscover} {
+		for _, m := range re.FindAllString(text, -1) {
+			digits := digitsOnly(m)
+			if !luhnValid(digits) {
+				continue
+			}
+			out = append(out, Match{Type: CreditCard, Value: digits})
+		}
+	}
+	return out
+}
+
+func extractHandles(t Type, urlRe, mentionRe *regexp.Regexp, text string) []Match {
+	var out []Match
+	stop := reservedPaths[t]
+	for _, re := range []*regexp.Regexp{urlRe, mentionRe} {
+		for _, sub := range re.FindAllStringSubmatch(text, -1) {
+			handle := strings.ToLower(strings.TrimPrefix(sub[1], "@"))
+			if handle == "" || stop[handle] {
+				continue
+			}
+			out = append(out, Match{Type: t, Value: handle})
+		}
+	}
+	return out
+}
+
+func digitsOnly(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// luhnValid reports whether the digit string passes the Luhn checksum.
+func luhnValid(digits string) bool {
+	if len(digits) < 12 {
+		return false
+	}
+	sum := 0
+	double := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		d := int(digits[i] - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}
+
+// LuhnChecksumDigit returns the check digit that makes payload+digit pass
+// the Luhn test. Used by the synthetic data generator to mint valid (but
+// fictional) card numbers.
+func LuhnChecksumDigit(payload string) byte {
+	sum := 0
+	double := true
+	for i := len(payload) - 1; i >= 0; i-- {
+		d := int(payload[i] - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return byte('0' + (10-sum%10)%10)
+}
+
+func normaliseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func dedupe(ms []Match) []Match {
+	seen := map[Match]bool{}
+	var out []Match
+	for _, m := range ms {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

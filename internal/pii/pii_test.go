@@ -1,0 +1,313 @@
+package pii
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func types(t *testing.T, text string) []Type {
+	t.Helper()
+	return NewExtractor().Types(text)
+}
+
+func values(t *testing.T, text string, want Type) []string {
+	t.Helper()
+	var out []string
+	for _, m := range NewExtractor().Extract(text) {
+		if m.Type == want {
+			out = append(out, m.Value)
+		}
+	}
+	return out
+}
+
+func TestAddresses(t *testing.T) {
+	positives := []string{
+		"he lives at 123 Main Street, Springfield, IL, 62704",
+		"apartment at 4567 Oak Ave apt 3B",
+		"1 Elm Rd",
+		"dropping by 99 Sunset Boulevard tonight",
+		"address: 742 Evergreen Terrace, Springfield, OR, 97475",
+	}
+	for _, p := range positives {
+		if got := values(t, p, Address); len(got) == 0 {
+			t.Errorf("no address found in %q", p)
+		}
+	}
+	negatives := []string{
+		"I walked 5 miles today",
+		"chapter 12 section 3",
+		"we should all go",
+	}
+	for _, n := range negatives {
+		if got := values(t, n, Address); len(got) != 0 {
+			t.Errorf("false address %v in %q", got, n)
+		}
+	}
+}
+
+func TestPhones(t *testing.T) {
+	cases := map[string]string{
+		"call him at 212-555-0142":    "2125550142",
+		"phone: (415) 555-2671":       "4155552671",
+		"+1 646.555.3888 cell":        "6465553888",
+		"dial 1-212-555-0100 anytime": "2125550100",
+	}
+	for text, want := range cases {
+		got := values(t, text, Phone)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("phones in %q = %v, want [%s]", text, got, want)
+		}
+	}
+	negatives := []string{
+		"the year 2021-2022 was",   // not a phone shape
+		"item 123-456-7890x is od", // exchange starts with 4: valid shape though...
+		"only 555-0142 here",       // no area code
+		"112-555-0142",             // area code starts with 1
+	}
+	for _, n := range negatives[2:] {
+		if got := values(t, n, Phone); len(got) != 0 {
+			t.Errorf("false phone %v in %q", got, n)
+		}
+	}
+	// Exchange code starting with 0/1 is rejected.
+	if got := values(t, "212-155-0142", Phone); len(got) != 0 {
+		t.Errorf("NANP-invalid exchange accepted: %v", got)
+	}
+}
+
+func TestSSNs(t *testing.T) {
+	if got := values(t, "ssn: 219-09-9999", SSN); !reflect.DeepEqual(got, []string{"219-09-9999"}) {
+		t.Errorf("ssn = %v", got)
+	}
+	invalid := []string{"000-12-3456", "666-12-3456", "912-34-5678", "219-00-9999", "219-09-0000"}
+	for _, s := range invalid {
+		if got := values(t, "ssn "+s+" end", SSN); len(got) != 0 {
+			t.Errorf("invalid SSN %s accepted", s)
+		}
+	}
+	// Phone-shaped numbers must not be SSNs.
+	if got := values(t, "212-555-0142", SSN); len(got) != 0 {
+		t.Errorf("phone matched as SSN: %v", got)
+	}
+}
+
+func TestEmails(t *testing.T) {
+	got := values(t, "contact Target.Name+spam@example-mail.org or x@y.co now", Email)
+	want := []string{"target.name+spam@example-mail.org", "x@y.co"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("emails = %v, want %v", got, want)
+	}
+	if got := values(t, "no at sign here example.org", Email); len(got) != 0 {
+		t.Errorf("false email %v", got)
+	}
+}
+
+func TestCreditCards(t *testing.T) {
+	// Luhn-valid test numbers (standard public test card numbers).
+	valid := map[string]string{
+		"visa 4111 1111 1111 1111 on file": "4111111111111111",
+		"mc 5500-0000-0000-0004 leaked":    "5500000000000004",
+		"amex 340000000000009 was posted":  "340000000000009",
+		"discover 6011000000000004 too":    "6011000000000004",
+	}
+	for text, want := range valid {
+		got := values(t, text, CreditCard)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("cards in %q = %v, want [%s]", text, got, want)
+		}
+	}
+	// Correct shape but bad Luhn checksum must be rejected.
+	if got := values(t, "4111 1111 1111 1112", CreditCard); len(got) != 0 {
+		t.Errorf("Luhn-invalid card accepted: %v", got)
+	}
+	// 16 digits not matching any network prefix.
+	if got := values(t, "9999 9999 9999 9995", CreditCard); len(got) != 0 {
+		t.Errorf("unknown network accepted: %v", got)
+	}
+}
+
+func TestLuhnChecksumDigitProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		// Build a random 15-digit payload; append computed check digit.
+		payload := make([]byte, 15)
+		s := seed
+		for i := range payload {
+			s = s*6364136223846793005 + 1442695040888963407
+			payload[i] = byte('0' + (s>>33)%10)
+		}
+		full := string(payload) + string(LuhnChecksumDigit(string(payload)))
+		return luhnValid(full)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacebook(t *testing.T) {
+	cases := map[string][]string{
+		"profile https://www.facebook.com/john.smith.9981": {"john.smith.9981"},
+		"facebook: johnsmith88":                            {"johnsmith88"},
+		"fb: target.person":                                {"target.person"},
+		"https://facebook.com/marketplace is busy":         nil, // reserved
+		"https://m.facebook.com/real.user.name":            {"real.user.name"},
+	}
+	for text, want := range cases {
+		got := values(t, text, Facebook)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("facebook in %q = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestInstagram(t *testing.T) {
+	cases := map[string][]string{
+		"https://instagram.com/target_user":    {"target_user"},
+		"ig: @some.handle":                     {"some.handle"},
+		"insta: another_one":                   {"another_one"},
+		"https://www.instagram.com/explore ok": nil,
+	}
+	for text, want := range cases {
+		got := values(t, text, Instagram)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("instagram in %q = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestTwitter(t *testing.T) {
+	cases := map[string][]string{
+		"https://twitter.com/TargetUser":    {"targetuser"},
+		"twitter: @handle_01":               {"handle_01"},
+		"https://twitter.com/hashtag/x yes": nil,
+		"https://mobile.twitter.com/realp":  {"realp"},
+	}
+	for text, want := range cases {
+		got := values(t, text, Twitter)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("twitter in %q = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestYouTube(t *testing.T) {
+	cases := map[string][]string{
+		"https://youtube.com/c/TargetChannel":              {"targetchannel"},
+		"https://www.youtube.com/channel/UC12345abcdef":    {"uc12345abcdef"},
+		"https://youtube.com/user/oldstyle99":              {"oldstyle99"},
+		"yt: @newhandle":                                   {"newhandle"},
+		"https://www.youtube.com/watch?v=dQw4w9WgXcQ play": nil, // reserved
+	}
+	for text, want := range cases {
+		got := values(t, text, YouTube)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("youtube in %q = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestExtractDedupes(t *testing.T) {
+	text := "fb: repeat.user and again fb: repeat.user"
+	got := values(t, text, Facebook)
+	if !reflect.DeepEqual(got, []string{"repeat.user"}) {
+		t.Errorf("dedupe failed: %v", got)
+	}
+}
+
+func TestExtractDeterministicOrder(t *testing.T) {
+	text := "twitter: bbb twitter: aaa email z@x.co email a@b.co"
+	e := NewExtractor()
+	m1 := e.Extract(text)
+	m2 := e.Extract(text)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("extraction order unstable")
+	}
+	for i := 1; i < len(m1); i++ {
+		if m1[i-1].Type > m1[i].Type {
+			t.Fatal("matches not sorted by type")
+		}
+	}
+}
+
+func TestTypesTable6Order(t *testing.T) {
+	text := "yt: somechannel / 219-09-9999 / 123 Main St / a@b.co"
+	got := types(t, text)
+	want := []Type{Address, Email, SSN, YouTube}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Types = %v, want %v", got, want)
+	}
+}
+
+func TestFullDoxDocument(t *testing.T) {
+	dox := strings.Join([]string{
+		"DOX: John Target",
+		"Address: 123 Main Street, Springfield, IL, 62704",
+		"Phone: (212) 555-0142",
+		"Email: john.target@example.org",
+		"SSN: 219-09-9999",
+		"fb: john.target.77",
+		"twitter: @jtarget",
+		"https://instagram.com/j_target",
+		"https://youtube.com/c/JTargetVlogs",
+		"Card: 4111 1111 1111 1111",
+	}, "\n")
+	got := types(t, dox)
+	if len(got) != 9 {
+		t.Errorf("full dox types = %v (%d), want all 9", got, len(got))
+	}
+}
+
+func TestBenignTextNoPII(t *testing.T) {
+	benign := []string{
+		"just played the new game, anyone up for a raid in-game tonight?",
+		"the weather is 72 degrees and sunny",
+		"meeting moved to room 1204 at 3pm",
+		"I scored 100-90 in the match",
+	}
+	for _, b := range benign {
+		if got := NewExtractor().Extract(b); len(got) != 0 {
+			t.Errorf("benign text %q produced %v", b, got)
+		}
+	}
+}
+
+func TestAccuracyHarness(t *testing.T) {
+	// The paper evaluated its regexes on 98 true-positive doxes and found
+	// >= 95% accuracy. Mirror that check shape: every planted field must
+	// be found, nothing else.
+	type planted struct {
+		text string
+		want map[Type]bool
+	}
+	docs := []planted{
+		{"target: 456 Oak Avenue / 415-555-2671", map[Type]bool{Address: true, Phone: true}},
+		{"email a@b.org ssn 219-09-9999", map[Type]bool{Email: true, SSN: true}},
+		{"fb: some.person twitter: @someone", map[Type]bool{Facebook: true, Twitter: true}},
+	}
+	correct := 0
+	for _, d := range docs {
+		got := map[Type]bool{}
+		for _, ty := range types(t, d.text) {
+			got[ty] = true
+		}
+		if reflect.DeepEqual(got, d.want) {
+			correct++
+		} else {
+			t.Logf("doc %q: got %v want %v", d.text, got, d.want)
+		}
+	}
+	if correct != len(docs) {
+		t.Errorf("accuracy %d/%d", correct, len(docs))
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	text := "John lives at 123 Main Street, call 212-555-0142, fb: john.t email j@x.org card 4111 1111 1111 1111"
+	e := NewExtractor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(text)
+	}
+}

@@ -1,0 +1,82 @@
+// Package query implements the conjunctive keyword-query engine used to
+// bootstrap the call-to-harassment annotation pool (§5.1). It evaluates
+// SQL-like queries of the form used in Figure 4: a disjunctive clause of
+// mobilizing-language phrases AND a disjunctive subclause of in-group
+// versus target language, each term matched case-insensitively against
+// the document body (the REGEXP_CONTAINS(LOWER(body), '\Q...\E')
+// semantics of the original BigQuery query: literal substring matching
+// over the lowercased text).
+package query
+
+import (
+	"strings"
+)
+
+// Clause is a disjunction of literal phrases: it matches a document when
+// any phrase occurs as a substring of the lowercased body.
+type Clause []string
+
+// Match reports whether the clause matches the lowercased body.
+func (c Clause) Match(lowerBody string) bool {
+	for _, phrase := range c {
+		if strings.Contains(lowerBody, strings.ToLower(phrase)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is a conjunction of clauses: a document matches when every
+// clause matches.
+type Query struct {
+	Clauses []Clause
+}
+
+// Match reports whether the document body matches the query. The body is
+// padded with a leading space so that the Figure 4 phrases' leading-space
+// word anchors also match at the start of a document.
+func (q Query) Match(body string) bool {
+	lower := " " + strings.ToLower(body)
+	for _, c := range q.Clauses {
+		if !c.Match(lower) {
+			return false
+		}
+	}
+	return len(q.Clauses) > 0
+}
+
+// Select returns the indices of the bodies matching the query, in order.
+func (q Query) Select(bodies []string) []int {
+	var out []int
+	for i, b := range bodies {
+		if q.Match(b) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Figure4 returns the exact seed query from the paper's appendix: a
+// mobilizing-language clause AND an in-group-versus-target subclause.
+func Figure4() Query {
+	return Query{Clauses: []Clause{
+		{ // First clause: contains mobilizing language.
+			" we need to", " we should", " lets", " we have", " we will", " we",
+		},
+		{ // Subclause: in-group mobilizing language vs target.
+			" them", " him", " her", " all", " entire",
+		},
+	}}
+}
+
+// WithAttackTerms narrows a query with a third clause of call-to-
+// harassment terms ("a clause for specific text related to calls to
+// harassment, such as 'doxxing', 'raiding', and 'reporting'", §5.1).
+func WithAttackTerms(q Query, terms ...string) Query {
+	if len(terms) == 0 {
+		terms = []string{"dox", "raid", "report", "spam", "flag", "brigade", "swat"}
+	}
+	out := Query{Clauses: append([]Clause(nil), q.Clauses...)}
+	out.Clauses = append(out.Clauses, Clause(terms))
+	return out
+}

@@ -1,0 +1,161 @@
+// Package repeatdox implements the paper's repeated-dox analysis (§7.3):
+// doxes that likely target the same person are linked by shared online
+// social network profile PII (Facebook, YouTube, Twitter, Instagram
+// handles), "the most reliable method of linking multiple doxes that
+// were likely about the same target".
+package repeatdox
+
+import (
+	"sort"
+
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/pii"
+)
+
+// osnTypes are the PII types used for linking.
+var osnTypes = map[pii.Type]bool{
+	pii.Facebook:  true,
+	pii.YouTube:   true,
+	pii.Twitter:   true,
+	pii.Instagram: true,
+}
+
+// Record is one dox document's linkable identity material.
+type Record struct {
+	ID      string
+	Dataset corpus.Dataset
+	// Handles are the extracted OSN PII matches.
+	Handles []pii.Match
+}
+
+// RecordFromText builds a Record by extracting OSN PII from dox text.
+func RecordFromText(id string, ds corpus.Dataset, text string, ex *pii.Extractor) Record {
+	r := Record{ID: id, Dataset: ds}
+	for _, m := range ex.Extract(text) {
+		if osnTypes[m.Type] {
+			r.Handles = append(r.Handles, m)
+		}
+	}
+	return r
+}
+
+// Group is a set of doxes linked by shared OSN handles (transitively).
+type Group struct {
+	RecordIDs []string
+	Datasets  []corpus.Dataset // aligned with RecordIDs
+}
+
+// CrossDataset reports whether the group spans more than one data set.
+func (g Group) CrossDataset() bool {
+	if len(g.Datasets) == 0 {
+		return false
+	}
+	first := g.Datasets[0]
+	for _, d := range g.Datasets[1:] {
+		if d != first {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarises the repeated-dox landscape (§7.3's findings).
+type Stats struct {
+	TotalDoxes int
+	// Repeated counts doxes in groups of size >= 2 (14,587 of 70,820,
+	// 20.1%, in the paper).
+	Repeated      int
+	RepeatedShare float64
+	// SameDatasetShare is the fraction of repeated doxes in groups that
+	// stay within one data set (98% in the paper).
+	SameDatasetShare float64
+	// CrossDatasetDoxes counts repeated doxes in cross-data-set groups
+	// (250 in the paper).
+	CrossDatasetDoxes int
+	// ByDataset counts repeated doxes per data set (89.64% pastes in
+	// the paper).
+	ByDataset map[corpus.Dataset]int
+	Groups    int
+}
+
+// Link groups records by shared OSN handles using union-find and returns
+// the groups with at least two records, plus summary statistics.
+func Link(records []Record) ([]Group, Stats) {
+	parent := make([]int, len(records))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Index records by handle.
+	byHandle := map[pii.Match][]int{}
+	for i, r := range records {
+		for _, h := range r.Handles {
+			byHandle[h] = append(byHandle[h], i)
+		}
+	}
+	for _, idxs := range byHandle {
+		for _, other := range idxs[1:] {
+			union(idxs[0], other)
+		}
+	}
+
+	members := map[int][]int{}
+	for i := range records {
+		root := find(i)
+		members[root] = append(members[root], i)
+	}
+
+	// Deterministic group order.
+	roots := make([]int, 0, len(members))
+	for root := range members {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+
+	var groups []Group
+	st := Stats{TotalDoxes: len(records), ByDataset: map[corpus.Dataset]int{}}
+	sameDataset := 0
+	for _, root := range roots {
+		idxs := members[root]
+		if len(idxs) < 2 {
+			continue
+		}
+		g := Group{}
+		for _, i := range idxs {
+			g.RecordIDs = append(g.RecordIDs, records[i].ID)
+			g.Datasets = append(g.Datasets, records[i].Dataset)
+		}
+		groups = append(groups, g)
+		st.Groups++
+		st.Repeated += len(idxs)
+		if g.CrossDataset() {
+			st.CrossDatasetDoxes += len(idxs)
+		} else {
+			sameDataset += len(idxs)
+		}
+		for _, d := range g.Datasets {
+			st.ByDataset[d]++
+		}
+	}
+	if st.TotalDoxes > 0 {
+		st.RepeatedShare = float64(st.Repeated) / float64(st.TotalDoxes)
+	}
+	if st.Repeated > 0 {
+		st.SameDatasetShare = float64(sameDataset) / float64(st.Repeated)
+	}
+	return groups, st
+}

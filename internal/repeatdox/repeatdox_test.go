@@ -1,0 +1,132 @@
+package repeatdox
+
+import (
+	"testing"
+
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/pii"
+)
+
+func handle(t pii.Type, v string) pii.Match { return pii.Match{Type: t, Value: v} }
+
+func TestLinkBySharedHandle(t *testing.T) {
+	records := []Record{
+		{ID: "a", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "target1")}},
+		{ID: "b", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "target1"), handle(pii.Facebook, "t1.fb")}},
+		{ID: "c", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Facebook, "t1.fb")}}, // transitive via b
+		{ID: "d", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "other")}},
+		{ID: "e", Dataset: corpus.Boards, Handles: nil},
+	}
+	groups, st := Link(records)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if len(groups[0].RecordIDs) != 3 {
+		t.Errorf("group size = %d, want 3 (transitive closure)", len(groups[0].RecordIDs))
+	}
+	if st.Repeated != 3 || st.TotalDoxes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SameDatasetShare != 1 {
+		t.Errorf("same-dataset share = %v", st.SameDatasetShare)
+	}
+}
+
+func TestLinkCrossDataset(t *testing.T) {
+	records := []Record{
+		{ID: "a", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.YouTube, "ch1")}},
+		{ID: "b", Dataset: corpus.Boards, Handles: []pii.Match{handle(pii.YouTube, "ch1")}},
+	}
+	groups, st := Link(records)
+	if len(groups) != 1 || !groups[0].CrossDataset() {
+		t.Fatalf("cross-dataset group not detected: %+v", groups)
+	}
+	if st.CrossDatasetDoxes != 2 || st.SameDatasetShare != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkSameTypeDifferentValueNotLinked(t *testing.T) {
+	records := []Record{
+		{ID: "a", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "x")}},
+		{ID: "b", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "y")}},
+	}
+	groups, st := Link(records)
+	if len(groups) != 0 || st.Repeated != 0 {
+		t.Errorf("distinct handles linked: %+v", groups)
+	}
+}
+
+func TestLinkSameValueDifferentTypeNotLinked(t *testing.T) {
+	// A Twitter handle "name" and an Instagram handle "name" are
+	// different identities; linking is per (type, value).
+	records := []Record{
+		{ID: "a", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Twitter, "name")}},
+		{ID: "b", Dataset: corpus.Pastes, Handles: []pii.Match{handle(pii.Instagram, "name")}},
+	}
+	groups, _ := Link(records)
+	if len(groups) != 0 {
+		t.Errorf("cross-type values linked: %+v", groups)
+	}
+}
+
+func TestLinkEmpty(t *testing.T) {
+	groups, st := Link(nil)
+	if groups != nil || st.TotalDoxes != 0 || st.RepeatedShare != 0 {
+		t.Errorf("empty link = %v %+v", groups, st)
+	}
+}
+
+func TestRecordFromText(t *testing.T) {
+	ex := pii.NewExtractor()
+	text := "dox: twitter: @target_one fb: target.one phone 212-555-0142"
+	r := RecordFromText("doc1", corpus.Gab, text, ex)
+	if r.ID != "doc1" || r.Dataset != corpus.Gab {
+		t.Errorf("record = %+v", r)
+	}
+	// Phone is not an OSN handle; only twitter + facebook linkable.
+	if len(r.Handles) != 2 {
+		t.Errorf("handles = %v, want 2 OSN handles", r.Handles)
+	}
+	for _, h := range r.Handles {
+		if h.Type == pii.Phone {
+			t.Error("phone included as linkable handle")
+		}
+	}
+}
+
+func TestLinkOnGeneratedCorpus(t *testing.T) {
+	// End-to-end: generated corpora must exhibit the §7.3 structure
+	// when linked purely from extracted text (no ground truth).
+	g := corpus.NewGenerator(corpus.Config{Seed: 3, VolumeScale: 20_000, PositiveScale: 10})
+	corpora := g.Generate()
+	ex := pii.NewExtractor()
+	var records []Record
+	for ds, c := range corpora {
+		for i := range c.Docs {
+			d := &c.Docs[i]
+			if !d.Truth.IsDox {
+				continue
+			}
+			rec := RecordFromText(d.ID, ds, d.Text, ex)
+			if len(rec.Handles) > 0 {
+				records = append(records, rec)
+			}
+		}
+	}
+	if len(records) < 200 {
+		t.Fatalf("too few linkable doxes: %d", len(records))
+	}
+	_, st := Link(records)
+	if st.Repeated == 0 {
+		t.Fatal("no repeated doxes found")
+	}
+	// Most repeats on pastes, few cross-dataset (paper: 89.64%, 250 of
+	// 14,587).
+	if st.ByDataset[corpus.Pastes]*2 < st.Repeated {
+		t.Errorf("pastes repeats %d of %d; pastes should dominate", st.ByDataset[corpus.Pastes], st.Repeated)
+	}
+	if st.SameDatasetShare < 0.85 {
+		t.Errorf("same-dataset share = %v, want > 0.85", st.SameDatasetShare)
+	}
+}

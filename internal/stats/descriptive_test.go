@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty-input descriptive stats should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of a single value should be NaN")
+	}
+	min, max := MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax of empty should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+	if got := Quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Mean != 22 || s.Median != 3 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestLogClampsNonPositive(t *testing.T) {
+	out := Log([]float64{math.E, 0, -5})
+	if !almostEqual(out[0], 1, 1e-12) {
+		t.Errorf("Log(e) = %v", out[0])
+	}
+	if math.IsInf(out[1], -1) || math.IsNaN(out[2]) {
+		t.Error("Log did not clamp non-positive inputs")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("ECDF.At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	xs, ps := e.Points()
+	if len(xs) != 3 || xs[1] != 2 || ps[1] != 0.75 || ps[2] != 1 {
+		t.Errorf("Points = %v %v", xs, ps)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) {
+		t.Error("empty ECDF At should be NaN")
+	}
+	xs, ps := e.Points()
+	if xs != nil || ps != nil {
+		t.Error("empty ECDF Points should be nil")
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		clean := raw[:0:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e := NewECDF(clean)
+		// CDF is monotone and bounded in [0, 1].
+		prev := 0.0
+		for _, x := range clean {
+			p := e.At(x)
+			if p < 0 || p > 1 {
+				return false
+			}
+			_ = prev
+		}
+		min, max := MinMax(clean)
+		if e.At(max) != 1 {
+			return false
+		}
+		// Only check the below-minimum case when min-1 is representably
+		// below min (fails for magnitudes near MaxFloat64).
+		if below := min - 1; below < min && e.At(below) != 0 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

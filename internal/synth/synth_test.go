@@ -1,0 +1,291 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"harassrepro/internal/gender"
+	"harassrepro/internal/pii"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/taxonomy"
+)
+
+func TestPersonaDeterministic(t *testing.T) {
+	a := NewPersona(randx.New(5))
+	b := NewPersona(randx.New(5))
+	if a != b {
+		t.Fatal("personas differ for identical seeds")
+	}
+	c := NewPersona(randx.New(6))
+	if a == c {
+		t.Fatal("personas identical for different seeds")
+	}
+}
+
+func TestPersonaPIIExtractable(t *testing.T) {
+	// Every PII field a persona carries must be recoverable by the PII
+	// extractors when rendered into a dox; this ties the generator and
+	// the extraction pipeline together.
+	ex := pii.NewExtractor()
+	rng := randx.New(7)
+	for i := 0; i < 50; i++ {
+		p := NewPersona(rng.SplitN("persona", i))
+		dox := Dox(p, pii.AllTypes(), DoxStylePaste, rng)
+		got := map[pii.Type]bool{}
+		for _, ty := range ex.Types(dox) {
+			got[ty] = true
+		}
+		for _, want := range pii.AllTypes() {
+			if !got[want] {
+				t.Fatalf("persona %d: %s not extracted from dox:\n%s", i, want, dox)
+			}
+		}
+	}
+}
+
+func TestPersonaPhoneIsFictional(t *testing.T) {
+	rng := randx.New(9)
+	for i := 0; i < 100; i++ {
+		p := NewPersona(rng)
+		if p.Phone[3:6] != "555" {
+			t.Fatalf("phone %s not in fictional 555 exchange", p.Phone)
+		}
+		if len(p.Phone) != 10 {
+			t.Fatalf("phone %s wrong length", p.Phone)
+		}
+	}
+}
+
+func TestPersonaGenderSplit(t *testing.T) {
+	rng := randx.New(11)
+	var m, f int
+	for i := 0; i < 3000; i++ {
+		switch NewPersona(rng).Gender {
+		case gender.Male:
+			m++
+		case gender.Female:
+			f++
+		}
+	}
+	ratio := float64(m) / float64(f)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("male:female ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDoxStyles(t *testing.T) {
+	rng := randx.New(13)
+	p := NewPersona(rng)
+	types := []pii.Type{pii.Address, pii.Phone}
+	for _, style := range []DoxStyle{DoxStylePaste, DoxStyleBoard, DoxStyleChat, DoxStyleMicro} {
+		text := Dox(p, types, style, rng)
+		if !strings.Contains(text, p.StreetAddress) {
+			t.Errorf("style %d: address missing:\n%s", style, text)
+		}
+		if !strings.Contains(text, p.Phone[0:3]) {
+			t.Errorf("style %d: phone missing:\n%s", style, text)
+		}
+	}
+	// Paste style is the long form.
+	long := Dox(p, pii.AllTypes(), DoxStylePaste, rng)
+	short := Dox(p, []pii.Type{pii.Email}, DoxStyleBoard, rng)
+	if len(long) <= len(short) {
+		t.Error("paste dox not longer than board dox")
+	}
+}
+
+func TestDoxOnlyRequestedPII(t *testing.T) {
+	ex := pii.NewExtractor()
+	rng := randx.New(15)
+	p := NewPersona(rng)
+	text := Dox(p, []pii.Type{pii.Email}, DoxStyleChat, rng)
+	for _, ty := range ex.Types(text) {
+		if ty != pii.Email {
+			t.Errorf("unrequested PII type %s in dox:\n%s", ty, text)
+		}
+	}
+}
+
+func TestCTHCategorizerRecovery(t *testing.T) {
+	// Generated incitements must be recoverable by the taxonomy
+	// categorizer: for each subcategory, the planted label should be
+	// recovered (at the parent level) in the overwhelming majority of
+	// renderings.
+	cat := taxonomy.NewCategorizer()
+	rng := randx.New(17)
+	for _, sub := range taxonomy.Subs() {
+		hits := 0
+		const n = 40
+		for i := 0; i < n; i++ {
+			p := NewPersona(rng.SplitN(string(sub), i))
+			mode := GenderedPronouns
+			if i%3 == 0 {
+				mode = NeutralPronouns
+			}
+			text := CTH(p, []taxonomy.Sub{sub}, mode, rng)
+			if cat.Categorize(text).HasParent(sub.Parent()) {
+				hits++
+			}
+		}
+		if hits < n*9/10 {
+			t.Errorf("subcategory %q recovered only %d/%d", sub, hits, n)
+		}
+	}
+}
+
+func TestCTHGenderRecovery(t *testing.T) {
+	rng := randx.New(19)
+	misses := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := NewPersona(rng.SplitN("g", i))
+		text := CTH(p, []taxonomy.Sub{taxonomy.SubMassFlagging, taxonomy.SubRaiding}, GenderedPronouns, rng)
+		if got := gender.Infer(text); got != p.Gender {
+			misses++
+		}
+	}
+	// Some templates legitimately carry no pronouns; the bulk must match.
+	if misses > n/4 {
+		t.Errorf("gendered CTH inferred wrong/unknown gender %d/%d times", misses, n)
+	}
+}
+
+func TestCTHNeutralPronounsUndetectable(t *testing.T) {
+	rng := randx.New(21)
+	for i := 0; i < 100; i++ {
+		p := NewPersona(rng.SplitN("n", i))
+		text := CTH(p, []taxonomy.Sub{taxonomy.SubReportingMisc}, NeutralPronouns, rng)
+		if got := gender.Infer(text); got != gender.Unknown {
+			t.Fatalf("neutral CTH %q inferred %v", text, got)
+		}
+	}
+}
+
+func TestCTHMultiLabel(t *testing.T) {
+	cat := taxonomy.NewCategorizer()
+	rng := randx.New(23)
+	p := NewPersona(rng)
+	text := CTH(p, []taxonomy.Sub{taxonomy.SubDoxing, taxonomy.SubRaiding}, GenderedPronouns, rng)
+	label := cat.Categorize(text)
+	if !label.HasParent(taxonomy.ContentLeakage) || !label.HasParent(taxonomy.Overloading) {
+		t.Errorf("multi-label CTH coded as %v:\n%s", label.Subs(), text)
+	}
+}
+
+func TestBenignFlavors(t *testing.T) {
+	rng := randx.New(25)
+	for _, f := range []Flavor{FlavorBoard, FlavorChat, FlavorMicro, FlavorPaste, FlavorBlog} {
+		text := Benign(f, rng)
+		if text == "" {
+			t.Errorf("flavor %d produced empty text", f)
+		}
+	}
+	// Pastes are long-form on average.
+	var pasteLen, chatLen int
+	for i := 0; i < 200; i++ {
+		pasteLen += len(Benign(FlavorPaste, rng))
+		chatLen += len(Benign(FlavorChat, rng))
+	}
+	if pasteLen <= chatLen {
+		t.Error("paste flavor not longer than chat flavor on average")
+	}
+}
+
+func TestBenignMostlyUncategorized(t *testing.T) {
+	// Benign chatter must rarely trip the taxonomy categorizer; hard
+	// negatives are designed to fool the *classifier*, not the coder.
+	cat := taxonomy.NewCategorizer()
+	rng := randx.New(27)
+	fp := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if !cat.Categorize(Benign(FlavorBoard, rng)).Empty() {
+			fp++
+		}
+	}
+	if fp > n/50 {
+		t.Errorf("benign text categorized as attack %d/%d times", fp, n)
+	}
+}
+
+func TestBenignNoPII(t *testing.T) {
+	ex := pii.NewExtractor()
+	rng := randx.New(29)
+	for _, f := range []Flavor{FlavorBoard, FlavorChat, FlavorMicro, FlavorBlog} {
+		for i := 0; i < 100; i++ {
+			text := Benign(f, rng)
+			if got := ex.Extract(text); len(got) != 0 {
+				t.Fatalf("benign flavor %d leaked PII %v in %q", f, got, text)
+			}
+		}
+	}
+}
+
+func TestMobilizerMatchesFigure4Vocabulary(t *testing.T) {
+	rng := randx.New(31)
+	fig4 := []string{"we need to", "we should", "lets", "we have", "we will", "we", "everyone", "all"}
+	for i := 0; i < 50; i++ {
+		m := Mobilizer(rng)
+		found := false
+		for _, q := range fig4 {
+			if strings.Contains(m, q) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("mobilizer %q matches no Figure 4 clause", m)
+		}
+	}
+}
+
+func TestSyntheticUsername(t *testing.T) {
+	rng := randx.New(33)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		u := SyntheticUsername(rng)
+		if u == "" || strings.Contains(u, " ") {
+			t.Fatalf("bad username %q", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("usernames not diverse: %d distinct of 100", len(seen))
+	}
+}
+
+func TestThreadReplyNonEmpty(t *testing.T) {
+	rng := randx.New(35)
+	for i := 0; i < 100; i++ {
+		if ThreadReply(rng) == "" {
+			t.Fatal("empty thread reply")
+		}
+	}
+}
+
+func BenchmarkNewPersona(b *testing.B) {
+	rng := randx.New(1)
+	for i := 0; i < b.N; i++ {
+		NewPersona(rng)
+	}
+}
+
+func BenchmarkCTH(b *testing.B) {
+	rng := randx.New(1)
+	p := NewPersona(rng)
+	subs := []taxonomy.Sub{taxonomy.SubMassFlagging}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CTH(p, subs, GenderedPronouns, rng)
+	}
+}
+
+func BenchmarkDox(b *testing.B) {
+	rng := randx.New(1)
+	p := NewPersona(rng)
+	types := pii.AllTypes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dox(p, types, DoxStylePaste, rng)
+	}
+}

@@ -1,0 +1,426 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"harassrepro/internal/pii"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/taxonomy"
+)
+
+// PronounMode controls how generated incitement text refers to its target.
+// The paper could resolve gendered pronouns for only ~57% of calls to
+// harassment (Table 10); NeutralPronouns generates the unresolvable rest.
+type PronounMode int
+
+const (
+	// GenderedPronouns uses the persona's he/him/his or she/her/her set.
+	GenderedPronouns PronounMode = iota
+	// NeutralPronouns uses they/them/their, leaving target gender
+	// undetectable by the pronoun heuristic.
+	NeutralPronouns
+)
+
+// pronouns returns (subject, object, possessive) for the persona under
+// the given mode.
+func pronounsFor(p Persona, mode PronounMode) (subj, obj, poss string) {
+	if mode == NeutralPronouns {
+		return "they", "them", "their"
+	}
+	return p.Pronouns()
+}
+
+// mobilizers are the mobilizing-language openers that both the Figure 4
+// seed query and real calls to harassment share.
+var mobilizers = []string{
+	"we need to", "we should", "lets", "we have to", "we will", "everyone should", "all of us need to",
+}
+
+// Mobilizer returns a random mobilizing-language opener.
+func Mobilizer(rng *randx.Source) string { return randx.Pick(rng, mobilizers) }
+
+// cthTemplate renders one incitement sentence for a subcategory. The
+// phrasing embeds the cue vocabulary the taxonomy categorizer codes on,
+// exactly as real incitements carry the attack vocabulary the paper's
+// coders keyed on.
+type cthTemplate func(p Persona, subj, obj, poss string, rng *randx.Source) string
+
+var cthTemplates = map[taxonomy.Sub][]cthTemplate{
+	taxonomy.SubDoxing: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s %s must be harassed, get %s phone number and address", Mobilizer(rng), p.FullName(), poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s find %s real name and post the dox here", Mobilizer(rng), poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s drop %s info, someone has the dox already", Mobilizer(rng), poss)
+		},
+	},
+	taxonomy.SubLeakedChats: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s went through the leaked discord logs, %s is in there, match the usernames from the leaked logs", p.FirstName, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s comb the leaked chat logs and build a profile on %s", Mobilizer(rng), obj)
+		},
+	},
+	taxonomy.SubNonConsensual: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s post %s private photos everywhere %s goes online", Mobilizer(rng), poss, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("someone leak %s nudes, %s deserves it", poss, subj)
+		},
+	},
+	taxonomy.SubOutingDeadnaming: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s out %s as a member of that group to everyone %s knows", Mobilizer(rng), obj, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("use the old deadname everywhere so %s can't hide", subj)
+		},
+	},
+	taxonomy.SubDoxPropagation: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s spread the dox to every board before it gets deleted", Mobilizer(rng))
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("repost the dox on %s, mirror it everywhere", randx.Pick(rng, []string{"every channel", "all the threads", "the other servers"}))
+		},
+	},
+	taxonomy.SubContentLeakMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s dig up %s info and leak everything about %s", Mobilizer(rng), poss, obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s leak everything about %s, start with the old forum posts", Mobilizer(rng), obj)
+		},
+	},
+	taxonomy.SubImpersonatedProfiles: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s make fake accounts pretending to be %s and post garbage", Mobilizer(rng), p.FullName())
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s impersonate %s on every platform until people hate %s", Mobilizer(rng), obj, obj)
+		},
+	},
+	taxonomy.SubSyntheticPorn: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("make deep fakes of porn with %s. send them to all %s friends and parents and family", obj, poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s make deepfake nudes of %s and post them where %s works", Mobilizer(rng), obj, subj)
+		},
+	},
+	taxonomy.SubImpersonationMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s pose as %s and ruin the meetup", Mobilizer(rng), obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("someone should pretend to be %s on the forum and make %s look unhinged", obj, obj)
+		},
+	},
+	taxonomy.SubAccountLockout: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("physh %s emails and find any info to blackmail with", poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s hack %s account and lock %s out of it for good", Mobilizer(rng), poss, obj)
+		},
+	},
+	taxonomy.SubLockoutMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s get into %s phone, there has to be something on it", Mobilizer(rng), poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s break into %s computer while %s is streaming", Mobilizer(rng), poss, subj)
+		},
+	},
+	taxonomy.SubNegativeRatings: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s leave one star reviews on %s shop until %s closes", Mobilizer(rng), poss, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("review bomb %s business page, downvote everything", poss)
+		},
+	},
+	taxonomy.SubRaiding: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s raid %s stream tonight, bring everyone", Mobilizer(rng), poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s flood the comments on every video %s posts", Mobilizer(rng), subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("organize a brigade against %s channel", poss)
+		},
+	},
+	taxonomy.SubSpamming: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("post FB and Twitter accounts so we can spam %s with hate", obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s spam %s inbox from burner accounts", Mobilizer(rng), poss)
+		},
+	},
+	taxonomy.SubOverloadingMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s flood %s with notifications day and night", Mobilizer(rng), obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s bury %s in messages until the phone is useless", Mobilizer(rng), obj)
+		},
+	},
+	taxonomy.SubHashtagHijacking: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s hijack the hashtag %s started and drown it in our posts", Mobilizer(rng), subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("use #%sExposed on twitter to derail %s campaign tag", p.LastName, poss)
+		},
+	},
+	taxonomy.SubPublicOpinionMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s push the narrative that %s faked the whole thing", Mobilizer(rng), subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s spread the story that %s was never there, make it stick", Mobilizer(rng), subj)
+		},
+	},
+	taxonomy.SubFalseReporting: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s call the cops on %s, say there are weapons in the house", Mobilizer(rng), obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s report %s to %s employer and the irs at the same time", Mobilizer(rng), obj, poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("file a false report with cps about %s kids", poss)
+		},
+	},
+	taxonomy.SubMassFlagging: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s mass-report %s twitter and youtube", Mobilizer(rng), poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s mass flag every video until the channel is gone", Mobilizer(rng))
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s get %s account banned, report %s channel until it's taken down", Mobilizer(rng), poss, poss)
+		},
+	},
+	taxonomy.SubReportingMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s report %s wherever %s shows up", Mobilizer(rng), obj, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s report %s on every site, one of them will stick", Mobilizer(rng), obj)
+		},
+	},
+	taxonomy.SubReputationPrivate: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s email %s boss at %s with the screenshots", Mobilizer(rng), poss, p.Employer)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("send the pics to %s %s so the family knows what %s is", poss, p.FamilyMember, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s contact %s landlord and %s school about this", Mobilizer(rng), poss, poss)
+		},
+	},
+	taxonomy.SubReputationPublic: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s expose %s publicly, post flyers about %s around %s", Mobilizer(rng), obj, obj, p.City)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("let the whole neighbourhood know who %s is, %s should not get to hide", subj, subj)
+		},
+	},
+	taxonomy.SubReputationMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s ruin %s reputation for good, %s deserves ostracism", Mobilizer(rng), poss, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s destroy %s name in this scene, nobody should work with %s again", Mobilizer(rng), poss, obj)
+		},
+	},
+	taxonomy.SubStalkingTracking: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("we should find all their yachts and stick trackers to them. and track them on gps")
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s follow %s after work and post %s whereabouts daily", Mobilizer(rng), obj, poss)
+		},
+	},
+	taxonomy.SubSurveillanceMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s keep tabs on %s and log everything %s does", Mobilizer(rng), obj, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s watch %s every move and post updates here", Mobilizer(rng), poss)
+		},
+	},
+	taxonomy.SubHateSpeech: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s message %s with racial slurs until %s quits", Mobilizer(rng), obj, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("fill %s mentions with hate speech, every single day", poss)
+		},
+	},
+	taxonomy.SubUnwantedExplicit: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s send %s explicit images from throwaways nonstop", Mobilizer(rng), obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s send %s gore until %s stops posting", Mobilizer(rng), obj, subj)
+		},
+	},
+	taxonomy.SubToxicMisc: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("send %s bleach and tell %s %s's trash and you'd rather a bad one than this", obj, obj, subj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("tell %s %s is worthless in every reply until %s logs off", obj, subj, subj)
+		},
+	},
+	taxonomy.SubGeneric: {
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s bully %s off the internet entirely", Mobilizer(rng), obj)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s go after %s, make %s life hell", Mobilizer(rng), obj, poss)
+		},
+		func(p Persona, subj, obj, poss string, rng *randx.Source) string {
+			return fmt.Sprintf("%s blackmail %s with whatever we can find", Mobilizer(rng), obj)
+		},
+	},
+}
+
+// CTH renders a call-to-harassment message inciting the given attack
+// subcategories against the persona, with the requested pronoun mode.
+// The output is one message combining one sentence per subcategory, plus
+// optional surrounding chatter.
+func CTH(p Persona, subs []taxonomy.Sub, mode PronounMode, rng *randx.Source) string {
+	subj, obj, poss := pronounsFor(p, mode)
+	var parts []string
+	if rng.Bool(0.4) {
+		parts = append(parts, randx.Pick(rng, cthLeadIns))
+	}
+	for _, s := range subs {
+		bank := cthTemplates[s]
+		if len(bank) == 0 {
+			continue
+		}
+		parts = append(parts, randx.Pick(rng, bank)(p, subj, obj, poss, rng))
+	}
+	if rng.Bool(0.3) {
+		parts = append(parts, randx.Pick(rng, cthOutros))
+	}
+	return strings.Join(parts, ". ")
+}
+
+var cthLeadIns = []string{
+	"this one has been asking for it",
+	"you all saw what happened in the other thread",
+	"time to do something about this",
+	"heads up about the person from yesterday",
+}
+
+var cthOutros = []string{
+	"screenshot everything before it gets wiped",
+	"spread the word",
+	"do not let up",
+	"post results in this thread",
+}
+
+// DoxStyle selects the rendering format of a generated dox.
+type DoxStyle int
+
+const (
+	// DoxStylePaste is the long-form structured paste-site dox: header,
+	// narration, labelled PII block, often an invitation for more info.
+	DoxStylePaste DoxStyle = iota
+	// DoxStyleBoard is the short image-board form: a couple of lines
+	// with partial PII.
+	DoxStyleBoard
+	// DoxStyleChat is the chat drop: PII lines pasted into a channel.
+	DoxStyleChat
+	// DoxStyleMicro is the microblog form: compact, handle-centric.
+	DoxStyleMicro
+)
+
+// Dox renders a dox of the persona exposing exactly the given PII types,
+// in the given style. The narration uses gendered pronouns (the paper
+// could associate pronouns with the target in 94.3% of sampled doxes).
+func Dox(p Persona, types []pii.Type, style DoxStyle, rng *randx.Source) string {
+	subj, _, poss := p.Pronouns()
+	fields := piiLines(p, types)
+	// Short-form styles expose employer/family occasionally too (the
+	// Table 7 Reputation signal), at a lower rate than pastes.
+	repTail := ""
+	if rng.Bool(0.2) {
+		repTail = " works at " + p.Employer
+	}
+	switch style {
+	case DoxStyleBoard:
+		lead := fmt.Sprintf("found %s. this is %s: %s%s", randx.Pick(rng, []string{"the guy", "the account owner", "the admin", "the poster"}), p.FullName(), strings.Join(fields, " / "), repTail)
+		return lead
+	case DoxStyleChat:
+		return fmt.Sprintf("dropping %s info now%s\n%s", poss, repTail, strings.Join(fields, "\n"))
+	case DoxStyleMicro:
+		return fmt.Sprintf("know who %s is: %s.%s %s", subj, p.FullName(), repTail, strings.Join(fields, " "))
+	default: // DoxStylePaste
+		var b strings.Builder
+		fmt.Fprintf(&b, "======== DOX: %s ========\n", strings.ToUpper(p.FullName()))
+		fmt.Fprintf(&b, "%s has been running %s mouth online for months. ", p.FirstName, poss)
+		fmt.Fprintf(&b, "everything below is confirmed. %s lives in %s.\n\n", subj, p.City)
+		for _, f := range fields {
+			fmt.Fprintf(&b, "%s\n", f)
+		}
+		// Reputation-relevant exposure (employer / family), the Table 7
+		// "Reputation" risk signal the paper annotated manually; present
+		// in a substantial minority of doxes (~29% carry the risk).
+		if rng.Bool(0.35) {
+			if rng.Bool(0.5) {
+				fmt.Fprintf(&b, "works at %s\n", p.Employer)
+			} else {
+				fmt.Fprintf(&b, "%s %s lives in the same town, ask around\n", poss, p.FamilyMember)
+			}
+		}
+		if rng.Bool(0.5) {
+			b.WriteString("\nmore info welcome, post what you have\n")
+		}
+		return b.String()
+	}
+}
+
+// piiLines renders the labelled PII block for the requested types.
+func piiLines(p Persona, types []pii.Type) []string {
+	var out []string
+	for _, t := range types {
+		switch t {
+		case pii.Address:
+			out = append(out, "Address: "+p.FullAddress())
+		case pii.CreditCard:
+			out = append(out, "Card: "+p.Card)
+		case pii.Email:
+			out = append(out, "Email: "+p.Email)
+		case pii.Facebook:
+			out = append(out, "fb: "+p.FacebookHandle)
+		case pii.Instagram:
+			out = append(out, "instagram: "+p.InstagramHandle)
+		case pii.Phone:
+			out = append(out, "Phone: "+p.FormattedPhone())
+		case pii.SSN:
+			out = append(out, "SSN: "+p.SSN)
+		case pii.Twitter:
+			out = append(out, "twitter: @"+p.TwitterHandle)
+		case pii.YouTube:
+			out = append(out, "https://youtube.com/c/"+p.YouTubeHandle)
+		}
+	}
+	return out
+}

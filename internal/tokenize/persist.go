@@ -1,0 +1,63 @@
+package tokenize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Save writes the vocabulary to w, one piece per line (the standard
+// WordPiece vocab.txt format). Pieces are written in sorted order so the
+// artifact is deterministic.
+func (v *Vocab) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range v.Pieces() {
+		if _, err := fmt.Fprintln(bw, p); err != nil {
+			return fmt.Errorf("tokenize: save vocab: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the vocabulary to the named file.
+func (v *Vocab) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tokenize: save vocab %s: %w", path, err)
+	}
+	if err := v.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadVocab reads a vocabulary in one-piece-per-line format.
+func LoadVocab(r io.Reader) (*Vocab, error) {
+	var pieces []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		pieces = append(pieces, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tokenize: load vocab: %w", err)
+	}
+	return NewVocab(pieces), nil
+}
+
+// LoadVocabFile reads a vocabulary from the named file.
+func LoadVocabFile(path string) (*Vocab, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tokenize: load vocab %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadVocab(f)
+}

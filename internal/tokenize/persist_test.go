@@ -1,0 +1,62 @@
+package tokenize
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestVocabSaveLoadRoundTrip(t *testing.T) {
+	corpus := []string{"mass reporting of harassment", "doxing on image boards"}
+	v := Train(corpus, TrainerConfig{VocabSize: 120})
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVocab(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Pieces(), loaded.Pieces()) {
+		t.Fatal("vocab round trip changed pieces")
+	}
+	// Tokenization must be identical.
+	a := NewTokenizer(v).Tokenize("mass reporting of doxing")
+	b := NewTokenizer(loaded).Tokenize("mass reporting of doxing")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("tokenization diverged: %v vs %v", a, b)
+	}
+}
+
+func TestVocabSaveLoadFile(t *testing.T) {
+	v := NewVocab([]string{"a", "##b", "ab"})
+	path := filepath.Join(t.TempDir(), "vocab.txt")
+	if err := v.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVocabFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 3 || !loaded.Contains("##b") {
+		t.Fatalf("loaded vocab = %v", loaded.Pieces())
+	}
+}
+
+func TestLoadVocabSkipsBlankLines(t *testing.T) {
+	v, err := LoadVocab(strings.NewReader("a\n\n##b\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("size = %d", v.Size())
+	}
+}
+
+func TestLoadVocabFileMissing(t *testing.T) {
+	if _, err := LoadVocabFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}

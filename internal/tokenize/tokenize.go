@@ -1,0 +1,396 @@
+// Package tokenize implements the text segmentation stack the paper's
+// classifiers are built on: punctuation splitting into basic tokens, a
+// trainable WordPiece sub-word vocabulary (the segmentation algorithm
+// used by BERT/distilBERT), and the long-document span strategies from
+// §5.2, including the paper's chosen default of random spanning without
+// overlap.
+package tokenize
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"harassrepro/internal/randx"
+)
+
+// UnknownToken is the token emitted for words that cannot be segmented
+// with the trained vocabulary.
+const UnknownToken = "[UNK]"
+
+// ContinuationPrefix marks non-initial word pieces, as in BERT's
+// WordPiece ("harass" -> "harass", "##ment").
+const ContinuationPrefix = "##"
+
+// BasicTokenize lower-cases text and splits it into words on whitespace
+// and punctuation; punctuation marks become their own tokens
+// ("punctuation splitting" in §5.2).
+func BasicTokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			tokens = append(tokens, string(r))
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Vocab is a trained WordPiece vocabulary.
+type Vocab struct {
+	pieces map[string]bool
+}
+
+// NewVocab builds a Vocab directly from a list of pieces. Continuation
+// pieces must carry the "##" prefix.
+func NewVocab(pieces []string) *Vocab {
+	m := make(map[string]bool, len(pieces))
+	for _, p := range pieces {
+		m[p] = true
+	}
+	return &Vocab{pieces: m}
+}
+
+// Size returns the number of pieces in the vocabulary.
+func (v *Vocab) Size() int { return len(v.pieces) }
+
+// Contains reports whether piece is in the vocabulary.
+func (v *Vocab) Contains(piece string) bool { return v.pieces[piece] }
+
+// Pieces returns the vocabulary contents in sorted order.
+func (v *Vocab) Pieces() []string {
+	out := make([]string, 0, len(v.pieces))
+	for p := range v.pieces {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrainerConfig controls WordPiece vocabulary training.
+type TrainerConfig struct {
+	// VocabSize is the target vocabulary size (including single
+	// characters). Training stops when it is reached or no more merges
+	// are possible.
+	VocabSize int
+	// MinPairFrequency is the minimum corpus frequency for a piece pair
+	// to be eligible for merging. Defaults to 2.
+	MinPairFrequency int
+	// MaxWordLength truncates pathological words during training.
+	// Defaults to 64.
+	MaxWordLength int
+}
+
+func (c *TrainerConfig) fillDefaults() {
+	if c.VocabSize <= 0 {
+		c.VocabSize = 4096
+	}
+	if c.MinPairFrequency <= 0 {
+		c.MinPairFrequency = 2
+	}
+	if c.MaxWordLength <= 0 {
+		c.MaxWordLength = 64
+	}
+}
+
+// Train learns a WordPiece vocabulary from the corpus using the standard
+// likelihood-score merge rule: at each step the pair (a, b) maximising
+// freq(ab) / (freq(a) * freq(b)) is merged, provided freq(ab) meets the
+// minimum pair frequency. Words are pre-split with BasicTokenize.
+func Train(corpus []string, cfg TrainerConfig) *Vocab {
+	cfg.fillDefaults()
+
+	// Word frequency table over the corpus.
+	wordFreq := map[string]int{}
+	for _, doc := range corpus {
+		for _, w := range BasicTokenize(doc) {
+			if len(w) > cfg.MaxWordLength {
+				w = w[:cfg.MaxWordLength]
+			}
+			wordFreq[w]++
+		}
+	}
+
+	// Each word starts segmented into characters, with continuation
+	// markers on all but the first.
+	type segWord struct {
+		pieces []string
+		freq   int
+	}
+	words := make([]segWord, 0, len(wordFreq))
+	// Deterministic iteration order.
+	sortedWords := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		sortedWords = append(sortedWords, w)
+	}
+	sort.Strings(sortedWords)
+
+	pieceFreq := map[string]int{}
+	for _, w := range sortedWords {
+		runes := []rune(w)
+		pieces := make([]string, len(runes))
+		for i, r := range runes {
+			p := string(r)
+			if i > 0 {
+				p = ContinuationPrefix + p
+			}
+			pieces[i] = p
+		}
+		words = append(words, segWord{pieces: pieces, freq: wordFreq[w]})
+		for _, p := range pieces {
+			pieceFreq[p] += wordFreq[w]
+		}
+	}
+
+	for len(pieceFreq) < cfg.VocabSize {
+		// Count adjacent pairs.
+		type pair struct{ a, b string }
+		pairFreq := map[pair]int{}
+		for _, w := range words {
+			for i := 0; i+1 < len(w.pieces); i++ {
+				pairFreq[pair{w.pieces[i], w.pieces[i+1]}] += w.freq
+			}
+		}
+		// Pick the best-scoring pair deterministically.
+		var best pair
+		bestScore := -1.0
+		found := false
+		keys := make([]pair, 0, len(pairFreq))
+		for p := range pairFreq {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].a != keys[j].a {
+				return keys[i].a < keys[j].a
+			}
+			return keys[i].b < keys[j].b
+		})
+		for _, p := range keys {
+			f := pairFreq[p]
+			if f < cfg.MinPairFrequency {
+				continue
+			}
+			score := float64(f) / (float64(pieceFreq[p.a]) * float64(pieceFreq[p.b]))
+			if score > bestScore {
+				bestScore = score
+				best = p
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		merged := best.a + strings.TrimPrefix(best.b, ContinuationPrefix)
+		// Apply the merge to every word.
+		for wi := range words {
+			w := &words[wi]
+			for i := 0; i+1 < len(w.pieces); i++ {
+				if w.pieces[i] == best.a && w.pieces[i+1] == best.b {
+					pieceFreq[best.a] -= w.freq
+					pieceFreq[best.b] -= w.freq
+					pieceFreq[merged] += w.freq
+					w.pieces[i] = merged
+					w.pieces = append(w.pieces[:i+1], w.pieces[i+2:]...)
+					i--
+				}
+			}
+		}
+		if _, ok := pieceFreq[merged]; !ok {
+			// The merge applied nowhere (stale pair); avoid looping forever.
+			break
+		}
+	}
+
+	pieces := make([]string, 0, len(pieceFreq))
+	for p, f := range pieceFreq {
+		if f > 0 {
+			pieces = append(pieces, p)
+		}
+	}
+	return NewVocab(pieces)
+}
+
+// Tokenizer segments text into word pieces with a trained vocabulary
+// using greedy longest-match-first, as in BERT.
+type Tokenizer struct {
+	vocab        *Vocab
+	maxWordChars int
+}
+
+// NewTokenizer returns a Tokenizer over the given vocabulary.
+func NewTokenizer(vocab *Vocab) *Tokenizer {
+	return &Tokenizer{vocab: vocab, maxWordChars: 100}
+}
+
+// Vocab returns the tokenizer's vocabulary (for persistence).
+func (t *Tokenizer) Vocab() *Vocab { return t.vocab }
+
+// Tokenize segments text into word pieces. Words that cannot be fully
+// segmented become a single UnknownToken.
+func (t *Tokenizer) Tokenize(text string) []string {
+	var out []string
+	for _, word := range BasicTokenize(text) {
+		out = append(out, t.tokenizeWord(word)...)
+	}
+	return out
+}
+
+func (t *Tokenizer) tokenizeWord(word string) []string {
+	runes := []rune(word)
+	if len(runes) > t.maxWordChars {
+		return []string{UnknownToken}
+	}
+	var pieces []string
+	start := 0
+	for start < len(runes) {
+		end := len(runes)
+		var cur string
+		ok := false
+		for end > start {
+			piece := string(runes[start:end])
+			if start > 0 {
+				piece = ContinuationPrefix + piece
+			}
+			if t.vocab.Contains(piece) {
+				cur = piece
+				ok = true
+				break
+			}
+			end--
+		}
+		if !ok {
+			return []string{UnknownToken}
+		}
+		pieces = append(pieces, cur)
+		start = end
+	}
+	return pieces
+}
+
+// SpanStrategy selects how documents longer than the model's maximum
+// sequence length are reduced (§5.2). The paper evaluated four
+// strategies and chose random spanning without overlap.
+type SpanStrategy int
+
+const (
+	// SpanRandomNoOverlap takes non-overlapping spans starting at random
+	// offsets covering distinct areas of the document — the paper's
+	// chosen strategy ("random spanning without overlap ... ensured that
+	// we had spans of text from all areas of the input document").
+	SpanRandomNoOverlap SpanStrategy = iota
+	// SpanBeginEnd takes one span from the beginning and one from the
+	// end of the document.
+	SpanBeginEnd
+	// SpanOverlapping takes spans with 50% overlap during splitting.
+	SpanOverlapping
+	// SpanRandomLength takes spans of random length (between half and
+	// full max length) at random offsets.
+	SpanRandomLength
+)
+
+// String returns the strategy name.
+func (s SpanStrategy) String() string {
+	switch s {
+	case SpanRandomNoOverlap:
+		return "random-no-overlap"
+	case SpanBeginEnd:
+		return "begin-end"
+	case SpanOverlapping:
+		return "overlapping"
+	case SpanRandomLength:
+		return "random-length"
+	default:
+		return "unknown"
+	}
+}
+
+// Spans reduces tokens to at most maxSpans spans of at most maxLen tokens
+// each, according to the strategy. Documents no longer than maxLen are
+// returned as a single full span. rng is only consulted by the random
+// strategies.
+func Spans(tokens []string, maxLen, maxSpans int, strategy SpanStrategy, rng *randx.Source) [][]string {
+	if maxLen <= 0 {
+		maxLen = 512
+	}
+	if maxSpans <= 0 {
+		maxSpans = 1
+	}
+	if len(tokens) <= maxLen {
+		return [][]string{tokens}
+	}
+	switch strategy {
+	case SpanBeginEnd:
+		spans := [][]string{tokens[:maxLen]}
+		if maxSpans > 1 {
+			spans = append(spans, tokens[len(tokens)-maxLen:])
+		}
+		return spans
+	case SpanOverlapping:
+		var spans [][]string
+		step := maxLen / 2
+		if step == 0 {
+			step = 1
+		}
+		for start := 0; start < len(tokens) && len(spans) < maxSpans; start += step {
+			end := start + maxLen
+			if end > len(tokens) {
+				end = len(tokens)
+			}
+			spans = append(spans, tokens[start:end])
+			if end == len(tokens) {
+				break
+			}
+		}
+		return spans
+	case SpanRandomLength:
+		var spans [][]string
+		for i := 0; i < maxSpans; i++ {
+			l := maxLen/2 + rng.Intn(maxLen/2+1)
+			if l > len(tokens) {
+				l = len(tokens)
+			}
+			start := rng.Intn(len(tokens) - l + 1)
+			spans = append(spans, tokens[start:start+l])
+		}
+		return spans
+	default: // SpanRandomNoOverlap
+		// Partition the document into ceil(n/maxLen) chunks, shuffle the
+		// chunk order, and keep the first maxSpans: random spans, no
+		// overlap, covering all areas of the document.
+		var chunks [][]string
+		for start := 0; start < len(tokens); start += maxLen {
+			end := start + maxLen
+			if end > len(tokens) {
+				end = len(tokens)
+			}
+			chunks = append(chunks, tokens[start:end])
+		}
+		randx.Shuffle(rng, chunks)
+		if len(chunks) > maxSpans {
+			chunks = chunks[:maxSpans]
+		}
+		return chunks
+	}
+}
+
+// Truncate limits tokens to at most maxLen tokens, used when a single
+// fixed-length input is required.
+func Truncate(tokens []string, maxLen int) []string {
+	if maxLen > 0 && len(tokens) > maxLen {
+		return tokens[:maxLen]
+	}
+	return tokens
+}
