@@ -9,6 +9,8 @@ package harassrepro
 // and see EXPERIMENTS.md for the paper-vs-measured record.
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -113,6 +115,77 @@ func BenchmarkScoreDox(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.ScoreDox(text)
+	}
+}
+
+var (
+	benchDetOnce sync.Once
+	benchDet     *Detector
+	benchDetErr  error
+)
+
+// benchDetector loads a detector from the shared pipeline's saved
+// models, once per benchmark binary.
+func benchDetector(b *testing.B) *Detector {
+	b.Helper()
+	s := benchPipeline(b)
+	benchDetOnce.Do(func() {
+		dir := b.TempDir()
+		if benchDetErr = s.SaveModels(dir); benchDetErr != nil {
+			return
+		}
+		benchDet, benchDetErr = LoadDetector(dir)
+	})
+	if benchDetErr != nil {
+		b.Fatal(benchDetErr)
+	}
+	return benchDet
+}
+
+// benchStreamDocs builds a mixed scoring workload.
+func benchStreamDocs(n int) []StreamDocument {
+	texts := []string{
+		"we need to mass-report his twitter and youtube, spread the word",
+		"anyone up for ranked tonight, patch notes are out",
+		"DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188 / fb: jane.roe.42",
+		"the new season drops friday, here is the patch rundown everyone asked for",
+		"everyone flood her mentions until she deletes the channel",
+	}
+	docs := make([]StreamDocument, n)
+	for i := range docs {
+		docs[i] = StreamDocument{ID: fmt.Sprintf("b%04d", i), Text: texts[i%len(texts)]}
+	}
+	return docs
+}
+
+// BenchmarkScoreStreamSequential is the baseline: the same scoring
+// workload run one document at a time on the plain detector API.
+func BenchmarkScoreStreamSequential(b *testing.B) {
+	det := benchDetector(b)
+	docs := benchStreamDocs(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			_ = det.ScoreCTH(d.Text)
+			_ = det.ScoreDox(d.Text)
+		}
+	}
+}
+
+// BenchmarkScoreStream times the worker-pool streaming path over the
+// identical workload — the baseline later perf PRs optimise against.
+func BenchmarkScoreStream(b *testing.B) {
+	det := benchDetector(b)
+	docs := benchStreamDocs(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := det.ScoreStream(context.Background(), docs, StreamOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Succeeded != len(docs) {
+			b.Fatalf("summary = %+v", sum)
+		}
 	}
 }
 

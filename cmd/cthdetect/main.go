@@ -3,31 +3,63 @@
 // classifiers' scores, the rule-based taxonomy coding, and whether the
 // Figure 4 seed query matches.
 //
+// Lines are processed on the fault-tolerant streaming runtime: a
+// document that panics a stage or fails repeatedly is quarantined to a
+// dead-letter record and reported in the final
+// processed/succeeded/quarantined summary instead of killing the run.
+//
 // The classifiers are trained at startup by running the quick-scale
 // pipeline over generated corpora (tens of seconds); the taxonomy and
 // seed-query columns need no training.
 //
 // Usage:
 //
-//	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only]
+//	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"harassrepro"
+	"harassrepro/internal/resilience"
 )
 
+// row is one stdin line flowing through the streaming runtime.
+type row struct {
+	Text      string
+	HasScores bool
+	CTH, Dox  float64
+	SeedQuery bool
+	Attacks   []string
+	PII       []string
+}
+
+// fail prints a one-line diagnostic and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cthdetect: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
+	// A stray panic must surface as a one-line diagnostic, not a
+	// stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
+
 	var (
 		seed      = flag.Uint64("seed", 1, "training seed")
 		rulesOnly = flag.Bool("rules-only", false, "skip classifier training; taxonomy and query only")
 		models    = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
 		explain   = flag.Int("explain", 0, "with -models: print the top-N n-grams driving each CTH score")
+		workers   = flag.Int("workers", 0, "streaming worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -42,8 +74,7 @@ func main() {
 	case *models != "":
 		d, err := harassrepro.LoadDetector(*models)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		det = d
 		sc = d
@@ -52,39 +83,128 @@ func main() {
 		fmt.Fprintln(os.Stderr, "training filtering classifiers (quick scale)...")
 		study, err := harassrepro.Run(harassrepro.QuickConfig(*seed))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		sc = study
 		fmt.Fprintln(os.Stderr, "ready")
 	}
 
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	for in.Scan() {
-		line := in.Text()
-		if strings.TrimSpace(line) == "" {
+	// Stage pipeline: classifier scoring is required (quarantine on
+	// permanent failure); the rule-based annotations degrade instead.
+	// The public Detector's sequential scoring advances a shared
+	// span-sampling stream, so the scoring stage is serialised for it;
+	// short CLI lines never consume that stream, keeping output
+	// deterministic either way.
+	var scoreMu chMutex
+	if det != nil {
+		scoreMu = make(chMutex, 1)
+	}
+	var stages []resilience.Stage[row]
+	if sc != nil {
+		stages = append(stages, resilience.Stage[row]{
+			Name:      "score",
+			Transient: true,
+			Fn: func(_ context.Context, _ int, r *row) error {
+				if strings.TrimSpace(r.Text) == "" {
+					return resilience.Permanent(fmt.Errorf("blank document"))
+				}
+				scoreMu.lock()
+				defer scoreMu.unlock()
+				r.CTH = sc.ScoreCTH(r.Text)
+				r.Dox = sc.ScoreDox(r.Text)
+				r.HasScores = true
+				return nil
+			},
+		})
+	}
+	stages = append(stages, resilience.Stage[row]{
+		Name:       "annotate",
+		Transient:  true,
+		Degradable: true,
+		Fn: func(_ context.Context, _ int, r *row) error {
+			r.SeedQuery = harassrepro.MatchesSeedQuery(r.Text)
+			r.Attacks = harassrepro.AttackParents(r.Text)
+			r.PII = harassrepro.PIITypes(r.Text)
+			return nil
+		},
+	})
+	runner := resilience.NewRunner(resilience.Config[row]{
+		Workers: *workers,
+		Seed:    *seed,
+		Ordered: true,
+		Describe: func(r *row) string {
+			if len(r.Text) > 40 {
+				return r.Text[:40] + "..."
+			}
+			return r.Text
+		},
+	}, stages...)
+
+	in := make(chan row)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(in)
+		scan := bufio.NewScanner(os.Stdin)
+		scan.Buffer(make([]byte, 1<<20), 1<<20)
+		for scan.Scan() {
+			if line := scan.Text(); strings.TrimSpace(line) != "" {
+				in <- row{Text: line}
+			}
+		}
+		scanErr <- scan.Err()
+	}()
+
+	var results []resilience.Result[row]
+	for res := range runner.Process(context.Background(), in) {
+		results = append(results, res)
+		r := res.Item
+		if res.Status == resilience.StatusQuarantined {
+			fmt.Printf("QUARANTINED (%s after %d attempts): %v\n",
+				res.Dead.Stage, res.Dead.Attempts, res.Dead.Err)
 			continue
 		}
-		if sc != nil {
-			fmt.Printf("cth=%.3f dox=%.3f ", sc.ScoreCTH(line), sc.ScoreDox(line))
+		if r.HasScores {
+			fmt.Printf("cth=%.3f dox=%.3f ", r.CTH, r.Dox)
 		}
-		fmt.Printf("seed-query=%v", harassrepro.MatchesSeedQuery(line))
-		if attacks := harassrepro.AttackParents(line); len(attacks) > 0 {
-			fmt.Printf(" attacks=%v", attacks)
+		fmt.Printf("seed-query=%v", r.SeedQuery)
+		if len(r.Attacks) > 0 {
+			fmt.Printf(" attacks=%v", r.Attacks)
 		}
-		if piiTypes := harassrepro.PIITypes(line); len(piiTypes) > 0 {
-			fmt.Printf(" pii=%v", piiTypes)
+		if len(r.PII) > 0 {
+			fmt.Printf(" pii=%v", r.PII)
+		}
+		if len(res.Degraded) > 0 {
+			fmt.Printf(" degraded=%v", res.Degraded)
 		}
 		fmt.Println()
 		if det != nil && *explain > 0 {
-			for _, w := range det.ExplainCTH(line, *explain) {
+			for _, w := range det.ExplainCTH(r.Text, *explain) {
 				fmt.Printf("    %+.3f  %s\n", w.Weight, w.NGram)
 			}
 		}
 	}
-	if err := in.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "cthdetect: %v\n", err)
-		os.Exit(1)
+
+	sum := resilience.Summarize(results)
+	fmt.Fprintln(os.Stderr, sum)
+	for _, dl := range sum.DeadLetters {
+		fmt.Fprintf(os.Stderr, "  dead-letter %s\n", dl)
+	}
+	if err := <-scanErr; err != nil {
+		fail("reading stdin: %v", err)
+	}
+}
+
+// chMutex is a channel-based optional mutex: the zero value (nil) is a
+// no-op, a 1-buffered channel is a lock.
+type chMutex chan struct{}
+
+func (m chMutex) lock() {
+	if m != nil {
+		m <- struct{}{}
+	}
+}
+func (m chMutex) unlock() {
+	if m != nil {
+		<-m
 	}
 }

@@ -2,61 +2,173 @@
 // precision-tuned extractors (§5.6) and reports the target's harm-risk
 // profile (Table 7) and likely gender (pronoun heuristic).
 //
+// By default the whole of stdin is one document. With -stream, each
+// line is one document, processed on the fault-tolerant streaming
+// runtime: a document that panics or repeatedly fails a stage is
+// quarantined and counted in the final
+// processed/succeeded/quarantined summary instead of aborting the run.
+//
 // Usage:
 //
 //	piiscan [-json] < document.txt
+//	piiscan -stream [-json] [-workers N] < documents.txt
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"harassrepro"
+	"harassrepro/internal/resilience"
 )
 
+// fail prints a one-line diagnostic and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "piiscan: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	// A stray panic must surface as a one-line diagnostic, not a
+	// stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
+
+	var (
+		jsonOut = flag.Bool("json", false, "emit JSON instead of text")
+		stream  = flag.Bool("stream", false, "treat each stdin line as one document (fault-tolerant streaming)")
+		workers = flag.Int("workers", 0, "with -stream: worker pool size (0 = GOMAXPROCS)")
+	)
 	flag.Parse()
 
-	data, err := io.ReadAll(os.Stdin)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "piiscan: %v\n", err)
-		os.Exit(1)
-	}
-	text := string(data)
-
-	matches := harassrepro.ExtractPII(text)
-	risks := harassrepro.HarmRisks(text)
-	gender := harassrepro.InferTargetGender(text)
-
-	if *jsonOut {
-		out := struct {
-			PII    []harassrepro.PIIMatch `json:"pii"`
-			Risks  []string               `json:"harm_risks"`
-			Gender string                 `json:"likely_target_gender"`
-		}{matches, risks, gender}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "piiscan: %v\n", err)
-			os.Exit(1)
-		}
+	if *stream {
+		runStream(*jsonOut, *workers)
 		return
 	}
 
-	if len(matches) == 0 {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fail("reading stdin: %v", err)
+	}
+	report(string(data), *jsonOut)
+}
+
+// scan is one document's extracted profile.
+type scan struct {
+	Text   string                 `json:"-"`
+	PII    []harassrepro.PIIMatch `json:"pii"`
+	Risks  []string               `json:"harm_risks"`
+	Gender string                 `json:"likely_target_gender"`
+}
+
+func analyze(s *scan) {
+	s.PII = harassrepro.ExtractPII(s.Text)
+	s.Risks = harassrepro.HarmRisks(s.Text)
+	s.Gender = harassrepro.InferTargetGender(s.Text)
+}
+
+// report handles the single-document mode.
+func report(text string, jsonOut bool) {
+	s := scan{Text: text}
+	analyze(&s)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	printScan(&s)
+}
+
+func printScan(s *scan) {
+	if len(s.PII) == 0 {
 		fmt.Println("no PII detected")
 	} else {
-		fmt.Printf("PII (%d):\n", len(matches))
-		for _, m := range matches {
+		fmt.Printf("PII (%d):\n", len(s.PII))
+		for _, m := range s.PII {
 			fmt.Printf("  %-10s %s\n", m.Type, m.Value)
 		}
 	}
-	if len(risks) > 0 {
-		fmt.Printf("harm risks: %v\n", risks)
+	if len(s.Risks) > 0 {
+		fmt.Printf("harm risks: %v\n", s.Risks)
 	}
-	fmt.Printf("likely target gender: %s\n", gender)
+	fmt.Printf("likely target gender: %s\n", s.Gender)
+}
+
+// runStream processes one document per line on the resilience runtime.
+func runStream(jsonOut bool, workers int) {
+	runner := resilience.NewRunner(resilience.Config[scan]{
+		Workers: workers,
+		Ordered: true,
+		Describe: func(s *scan) string {
+			if len(s.Text) > 40 {
+				return s.Text[:40] + "..."
+			}
+			return s.Text
+		},
+	}, resilience.Stage[scan]{
+		Name:      "extract",
+		Transient: true,
+		Fn: func(_ context.Context, _ int, s *scan) error {
+			analyze(s)
+			return nil
+		},
+	})
+
+	in := make(chan scan)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(in)
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if line := sc.Text(); strings.TrimSpace(line) != "" {
+				in <- scan{Text: line}
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	var results []resilience.Result[scan]
+	for res := range runner.Process(context.Background(), in) {
+		results = append(results, res)
+		if res.Status == resilience.StatusQuarantined {
+			fmt.Printf("QUARANTINED (%s after %d attempts): %v\n",
+				res.Dead.Stage, res.Dead.Attempts, res.Dead.Err)
+			continue
+		}
+		if jsonOut {
+			if err := enc.Encode(res.Item); err != nil {
+				fail("%v", err)
+			}
+			continue
+		}
+		s := res.Item
+		var types []string
+		for _, m := range s.PII {
+			types = append(types, m.Type)
+		}
+		fmt.Printf("pii=%v risks=%v gender=%s\n", types, s.Risks, s.Gender)
+	}
+
+	sum := resilience.Summarize(results)
+	fmt.Fprintln(os.Stderr, sum)
+	for _, dl := range sum.DeadLetters {
+		fmt.Fprintf(os.Stderr, "  dead-letter %s\n", dl)
+	}
+	if err := <-scanErr; err != nil {
+		fail("reading stdin: %v", err)
+	}
 }

@@ -22,6 +22,8 @@
 package harassrepro
 
 import (
+	"context"
+
 	"harassrepro/internal/annotate"
 	"harassrepro/internal/core"
 	"harassrepro/internal/corpus"
@@ -29,6 +31,7 @@ import (
 	"harassrepro/internal/harm"
 	"harassrepro/internal/pii"
 	"harassrepro/internal/query"
+	"harassrepro/internal/resilience"
 	"harassrepro/internal/taxonomy"
 )
 
@@ -219,6 +222,106 @@ func (d *Detector) CTHThreshold(platform string) float64 { return d.d.CTHThresho
 
 // Platforms lists the platforms with saved thresholds.
 func (d *Detector) Platforms() []string { return d.d.Platforms() }
+
+// StreamDocument is one input document for fault-tolerant streaming
+// scoring. Only Text is required.
+type StreamDocument struct {
+	ID       string
+	Platform string
+	Text     string
+}
+
+// StreamOptions configures ScoreStream.
+type StreamOptions struct {
+	// Workers bounds the concurrent scoring pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the run deterministic: same seed, same scores,
+	// regardless of worker count or transient failures.
+	Seed uint64
+	// MaxAttempts bounds retries of transiently failing stages per
+	// document; 0 means the default (4).
+	MaxAttempts int
+	// Annotate additionally runs the PII and attack-taxonomy coders
+	// per document; if those stages fail permanently the document is
+	// still emitted with the annotation marked degraded.
+	Annotate bool
+}
+
+// StreamResult is one scored document from ScoreStream.
+type StreamResult struct {
+	// Index is the document's position in the input.
+	Index int
+	ID    string
+	// CTH / Dox are the classifiers' positive-class probabilities
+	// (zero when the document was quarantined before scoring).
+	CTH float64
+	Dox float64
+	// PII / Attacks / SeedQuery are filled when Annotate was set.
+	PII       []string
+	Attacks   []string
+	SeedQuery bool
+	// Degraded names annotation stages that failed permanently but
+	// were tolerated.
+	Degraded []string
+	// Quarantined marks a document isolated to the dead-letter queue;
+	// FailedStage, Attempts and Err describe the failure.
+	Quarantined bool
+	FailedStage string
+	Attempts    int
+	Err         string
+}
+
+// StreamSummary aggregates a streaming run.
+type StreamSummary struct {
+	Processed   int
+	Succeeded   int
+	Degraded    int
+	Quarantined int
+}
+
+// ScoreStream scores documents concurrently on the fault-tolerant
+// runtime: per-document panics and transient failures are isolated,
+// retried with seeded backoff, and — if permanent — quarantined to the
+// returned dead-letter records instead of aborting the run. Results
+// are in input order. err is non-nil only when ctx was cancelled.
+func (d *Detector) ScoreStream(ctx context.Context, docs []StreamDocument, opts StreamOptions) ([]StreamResult, StreamSummary, error) {
+	in := make([]core.StreamDoc, len(docs))
+	for i, sd := range docs {
+		in[i] = core.StreamDoc{ID: sd.ID, Platform: sd.Platform, Text: sd.Text}
+	}
+	results, sum, err := d.d.ScoreBatch(ctx, in, core.StreamOptions{
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		Retry:    resilience.RetryPolicy{MaxAttempts: opts.MaxAttempts},
+		Annotate: opts.Annotate,
+	})
+	out := make([]StreamResult, len(results))
+	for i, r := range results {
+		sr := StreamResult{
+			Index:     r.Index,
+			ID:        r.Item.ID,
+			CTH:       r.Item.CTH,
+			Dox:       r.Item.Dox,
+			PII:       r.Item.PII,
+			Attacks:   r.Item.Attacks,
+			SeedQuery: r.Item.SeedQuery,
+			Degraded:  r.Degraded,
+		}
+		if r.Dead != nil {
+			sr.Quarantined = true
+			sr.FailedStage = r.Dead.Stage
+			sr.Attempts = r.Dead.Attempts
+			sr.Err = r.Dead.Err.Error()
+		}
+		out[i] = sr
+	}
+	return out, StreamSummary{
+		Processed:   sum.Processed,
+		Succeeded:   sum.Succeeded,
+		Degraded:    sum.Degraded,
+		Quarantined: sum.Quarantined,
+	}, err
+}
 
 // NGramWeight is one n-gram's contribution to a classifier decision.
 type NGramWeight struct {

@@ -1,6 +1,7 @@
 package harassrepro
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -206,5 +207,58 @@ func TestSaveModelsAndDetector(t *testing.T) {
 	}
 	if _, err := LoadDetector(t.TempDir()); err == nil {
 		t.Error("loading an empty directory should fail")
+	}
+}
+
+func TestDetectorScoreStream(t *testing.T) {
+	s := sharedStudy(t)
+	dir := t.TempDir()
+	if err := s.SaveModels(dir); err != nil {
+		t.Fatal(err)
+	}
+	det, err := LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []StreamDocument{
+		{ID: "a", Text: "we need to mass-report his twitter and youtube, spread the word"},
+		{ID: "b", Text: "anyone up for ranked tonight, patch notes are out"},
+		{ID: "poison", Text: ""}, // empty text is quarantined, not fatal
+		{ID: "c", Text: "DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188"},
+	}
+	results, sum, err := det.ScoreStream(context.Background(), docs, StreamOptions{Workers: 2, Seed: 1, Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Processed != 4 || sum.Succeeded != 3 || sum.Quarantined != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("results out of input order at %d", i)
+		}
+	}
+	if !results[2].Quarantined || results[2].FailedStage == "" || results[2].Err == "" {
+		t.Fatalf("poison doc not quarantined with detail: %+v", results[2])
+	}
+	// Streaming scores match the sequential detector on short docs.
+	if results[0].CTH != det.ScoreCTH(docs[0].Text) {
+		t.Errorf("stream CTH %v != sequential %v", results[0].CTH, det.ScoreCTH(docs[0].Text))
+	}
+	if results[3].Dox <= results[1].Dox {
+		t.Errorf("dox document scored %v, benign %v", results[3].Dox, results[1].Dox)
+	}
+	if len(results[3].PII) == 0 {
+		t.Errorf("dox document has no PII annotation: %+v", results[3])
+	}
+	// Determinism: a second run yields identical scores.
+	again, _, err := det.ScoreStream(context.Background(), docs, StreamOptions{Workers: 7, Seed: 1, Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].CTH != again[i].CTH || results[i].Dox != again[i].Dox {
+			t.Fatalf("doc %d scores differ across runs", i)
+		}
 	}
 }

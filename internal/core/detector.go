@@ -40,6 +40,27 @@ type detectorMeta struct {
 	CTHThresholds map[string]float64 `json:"cth_thresholds"`
 }
 
+// validate rejects metadata whose values would break scoring (zero
+// feature space, non-positive span lengths, thresholds outside (0, 1]):
+// the partially-written-file failure modes a crashed SaveModels leaves
+// behind.
+func (m *detectorMeta) validate() error {
+	if m.Buckets == 0 {
+		return fmt.Errorf("buckets must be positive")
+	}
+	if m.DoxTextLen <= 0 || m.CTHTextLen <= 0 {
+		return fmt.Errorf("span lengths must be positive (dox %d, cth %d)", m.DoxTextLen, m.CTHTextLen)
+	}
+	for name, ths := range map[string]map[string]float64{"dox": m.DoxThresholds, "cth": m.CTHThresholds} {
+		for plat, th := range ths {
+			if th <= 0 || th > 1 {
+				return fmt.Errorf("%s threshold for %q out of range: %v", name, plat, th)
+			}
+		}
+	}
+	return nil
+}
+
 // SaveModels writes the trained filtering classifiers and their
 // configuration into dir (created if needed).
 func (p *Pipeline) SaveModels(dir string) error {
@@ -90,7 +111,10 @@ type Detector struct {
 	rng    *randx.Source
 }
 
-// LoadDetector reads a directory written by SaveModels.
+// LoadDetector reads a directory written by SaveModels. A corrupt,
+// truncated or partially-written model directory always yields a
+// descriptive error naming the offending artifact, never a panic or a
+// silently broken detector.
 func LoadDetector(dir string) (*Detector, error) {
 	data, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
@@ -98,14 +122,20 @@ func LoadDetector(dir string) (*Detector, error) {
 	}
 	var meta detectorMeta
 	if err := json.Unmarshal(data, &meta); err != nil {
-		return nil, fmt.Errorf("core: load detector: %w", err)
+		return nil, fmt.Errorf("core: load detector: %s: %w", metaFile, err)
 	}
 	if meta.Version != 1 {
 		return nil, fmt.Errorf("core: load detector: unsupported version %d", meta.Version)
 	}
+	if err := meta.validate(); err != nil {
+		return nil, fmt.Errorf("core: load detector: %s: %w", metaFile, err)
+	}
 	vocab, err := tokenize.LoadVocabFile(filepath.Join(dir, vocabFile))
 	if err != nil {
 		return nil, err
+	}
+	if vocab.Size() == 0 {
+		return nil, fmt.Errorf("core: load detector: %s: vocabulary is empty", vocabFile)
 	}
 	dox, err := model.LoadLogRegFile(filepath.Join(dir, doxFile))
 	if err != nil {
@@ -129,9 +159,12 @@ func LoadDetector(dir string) (*Detector, error) {
 }
 
 // vectorize mirrors the pipeline's text-to-vector transform.
-func (d *Detector) vectorize(text string, maxLen int) features.Vector {
+// Span sampling on long documents draws from rng, so callers that need
+// concurrency or bit-reproducibility (the streaming path) pass their
+// own per-document source.
+func (d *Detector) vectorize(text string, maxLen int, rng *randx.Source) features.Vector {
 	toks := d.tok.Tokenize(text)
-	spans := tokenize.Spans(toks, maxLen, 2, tokenize.SpanRandomNoOverlap, d.rng)
+	spans := tokenize.Spans(toks, maxLen, 2, tokenize.SpanRandomNoOverlap, rng)
 	if len(spans) == 1 {
 		return d.hasher.Vectorize(spans[0])
 	}
@@ -143,14 +176,26 @@ func (d *Detector) vectorize(text string, maxLen int) features.Vector {
 }
 
 // ScoreDox returns the doxing classifier's positive probability.
+// Not safe for concurrent use (it advances the detector's internal
+// span-sampling stream); use ScoreStream for concurrent scoring.
 func (d *Detector) ScoreDox(text string) float64 {
-	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen))
+	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen, d.rng))
 }
 
 // ScoreCTH returns the call-to-harassment classifier's positive
-// probability.
+// probability. Not safe for concurrent use; see ScoreDox.
 func (d *Detector) ScoreCTH(text string) float64 {
-	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen))
+	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen, d.rng))
+}
+
+// scoreDoxWith scores with an explicit span-sampling source.
+func (d *Detector) scoreDoxWith(text string, rng *randx.Source) float64 {
+	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen, rng))
+}
+
+// scoreCTHWith scores with an explicit span-sampling source.
+func (d *Detector) scoreCTHWith(text string, rng *randx.Source) float64 {
+	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen, rng))
 }
 
 // Score scores text for the given task.

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Hardening suite: LoadDetector over corrupt, truncated and
+// partially-written model directories must always return a descriptive
+// error — never panic, nil-deref or hand back a broken detector.
+
+// validMeta is a metadata file consistent with tiny valid models.
+const validMeta = `{"version":1,"buckets":16,"dox_text_len":512,"cth_text_len":128,
+"dox_thresholds":{"boards":0.9},"cth_thresholds":{"boards":0.8}}`
+
+// writeDir creates a model directory with the given file contents.
+func writeDir(t *testing.T, files map[string][]byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// loadMustFail asserts LoadDetector errors without panicking.
+func loadMustFail(t *testing.T, dir, label string) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: LoadDetector panicked: %v", label, r)
+		}
+	}()
+	d, err := LoadDetector(dir)
+	if err == nil {
+		t.Fatalf("%s: LoadDetector accepted a corrupt directory (detector %v)", label, d != nil)
+	}
+	if err.Error() == "" {
+		t.Fatalf("%s: empty error message", label)
+	}
+	return err
+}
+
+func TestLoadDetectorGarbageDirectories(t *testing.T) {
+	garbage := []byte("\x00\xff\x13garbage bytes not a model\x00\x01")
+	cases := map[string]map[string][]byte{
+		"missing everything": {},
+		"meta only":          {metaFile: []byte(validMeta)},
+		"all empty files": {
+			metaFile: {}, vocabFile: {}, doxFile: {}, cthFile: {},
+		},
+		"all garbage": {
+			metaFile: garbage, vocabFile: garbage, doxFile: garbage, cthFile: garbage,
+		},
+		"valid meta, garbage models": {
+			metaFile: []byte(validMeta), vocabFile: []byte("hello\nworld\n"),
+			doxFile: garbage, cthFile: garbage,
+		},
+		"valid meta, empty models": {
+			metaFile: []byte(validMeta), vocabFile: []byte("hello\nworld\n"),
+			doxFile: {}, cthFile: {},
+		},
+		"empty vocabulary": {
+			metaFile: []byte(validMeta), vocabFile: {}, doxFile: garbage, cthFile: garbage,
+		},
+		"truncated meta": {
+			metaFile: []byte(validMeta[:len(validMeta)/2]),
+		},
+		"meta zero buckets": {
+			metaFile: []byte(`{"version":1,"buckets":0,"dox_text_len":512,"cth_text_len":128}`),
+		},
+		"meta negative span length": {
+			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":-5,"cth_text_len":128}`),
+		},
+		"meta threshold out of range": {
+			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":512,"cth_text_len":128,"dox_thresholds":{"boards":7.5}}`),
+		},
+		"meta null json": {metaFile: []byte(`null`)},
+		"meta empty object": {
+			metaFile: []byte(`{}`),
+		},
+	}
+	for label, files := range cases {
+		loadMustFail(t, writeDir(t, files), label)
+	}
+}
+
+func TestLoadDetectorEmptyVocabularyNamed(t *testing.T) {
+	// An empty vocab would tokenize everything to [UNK] and silently
+	// produce meaningless scores; the error must name the artifact.
+	dir := writeDir(t, map[string][]byte{
+		metaFile: []byte(validMeta), vocabFile: []byte("\n\n\n"),
+	})
+	err := loadMustFail(t, dir, "blank-lines vocabulary")
+	if !strings.Contains(err.Error(), vocabFile) {
+		t.Errorf("error does not name %s: %v", vocabFile, err)
+	}
+}
+
+func TestLoadDetectorTruncatedModels(t *testing.T) {
+	// Build one real model directory, then truncate each artifact in
+	// turn: every truncation must be caught at load time.
+	p := sharedPipeline(t)
+	src := t.TempDir()
+	if err := p.SaveModels(src); err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []string{metaFile, doxFile, cthFile} {
+		dir := t.TempDir()
+		for _, f := range []string{metaFile, vocabFile, doxFile, cthFile} {
+			data, err := os.ReadFile(filepath.Join(src, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f == victim {
+				data = data[:len(data)/3]
+			}
+			if err := os.WriteFile(filepath.Join(dir, f), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		loadMustFail(t, dir, "truncated "+victim)
+	}
+}
+
+func TestLoadDetectorMismatchedModels(t *testing.T) {
+	// Models trained at a different feature-space size than the
+	// metadata claims: a partially-overwritten release directory.
+	p := sharedPipeline(t)
+	src := t.TempDir()
+	if err := p.SaveModels(src); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(src, metaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"buckets": 65536`, `"buckets": 1024`, 1)
+	if tampered == string(data) {
+		t.Skip("meta bucket count not in expected form")
+	}
+	if err := os.WriteFile(filepath.Join(src, metaFile), []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = loadMustFail(t, src, "bucket mismatch")
+	if !strings.Contains(err.Error(), "buckets") {
+		t.Errorf("error does not mention buckets: %v", err)
+	}
+}

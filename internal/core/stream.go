@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"harassrepro/internal/pii"
+	"harassrepro/internal/query"
+	"harassrepro/internal/randx"
+	"harassrepro/internal/resilience"
+	"harassrepro/internal/taxonomy"
+)
+
+// The paper's deployment surface scored live multi-platform feeds,
+// where a single malformed or pathological document must never stall
+// the stream. ScoreStream is that surface for the reproduction: it
+// runs the detector's scoring plus the rule-based annotations on the
+// resilience runtime — bounded worker pool, per-document panic
+// isolation, retry with seeded jitter, dead-letter quarantine — while
+// keeping scores bit-identical to a sequential run for a given seed.
+
+// StreamDoc is one document flowing through the streaming scoring
+// path: input fields (ID, Platform, Text) plus the annotations the
+// stages fill in.
+type StreamDoc struct {
+	ID       string
+	Platform string
+	Text     string
+
+	// CTH / Dox are the classifiers' positive-class probabilities.
+	CTH float64
+	Dox float64
+	// PII / Attacks are the rule-based annotations (degradable: they
+	// may be missing when their stage failed permanently, in which
+	// case Result.Degraded names the stage).
+	PII     []string
+	Attacks []string
+	// SeedQuery reports the Figure 4 mobilizing-language seed query.
+	SeedQuery bool
+}
+
+// StreamOptions configures ScoreStream.
+type StreamOptions struct {
+	// Workers bounds the scoring pool. 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives span sampling and retry jitter: two runs with the
+	// same seed over the same stream produce identical scores for
+	// every non-quarantined document, regardless of worker count or
+	// injected faults.
+	Seed uint64
+	// Retry is the transient-failure policy.
+	Retry resilience.RetryPolicy
+	// Ordered makes results arrive in input order.
+	Ordered bool
+	// Annotate adds the PII and taxonomy/seed-query stages (both
+	// degradable) after scoring.
+	Annotate bool
+	// StageWrap, if set, wraps every stage before the runner is
+	// built — the hook the chaos harness uses to inject faults.
+	StageWrap func(resilience.Stage[StreamDoc]) resilience.Stage[StreamDoc]
+}
+
+var (
+	streamExtractor   = pii.NewExtractor()
+	streamCategorizer = taxonomy.NewCategorizer()
+	streamSeedQuery   = query.WithAttackTerms(query.Figure4())
+)
+
+// streamStages builds the stage pipeline for streaming scoring.
+func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc] {
+	// Per-document scoring randomness is derived from (seed, stage,
+	// index), never from the detector's shared stream: retries and
+	// scheduling cannot perturb it.
+	base := randx.New(opts.Seed)
+	stages := []resilience.Stage[StreamDoc]{
+		{
+			Name:      "score-cth",
+			Transient: true,
+			Fn: func(_ context.Context, index int, sd *StreamDoc) error {
+				if sd.Text == "" {
+					return resilience.Permanent(fmt.Errorf("empty document text"))
+				}
+				sd.CTH = d.scoreCTHWith(sd.Text, base.Split("score-cth").SplitN("doc", index))
+				return nil
+			},
+		},
+		{
+			Name:      "score-dox",
+			Transient: true,
+			Fn: func(_ context.Context, index int, sd *StreamDoc) error {
+				sd.Dox = d.scoreDoxWith(sd.Text, base.Split("score-dox").SplitN("doc", index))
+				return nil
+			},
+		},
+	}
+	if opts.Annotate {
+		stages = append(stages,
+			resilience.Stage[StreamDoc]{
+				Name:       "pii",
+				Transient:  true,
+				Degradable: true,
+				Fn: func(_ context.Context, _ int, sd *StreamDoc) error {
+					var types []string
+					for _, t := range streamExtractor.Types(sd.Text) {
+						types = append(types, string(t))
+					}
+					sd.PII = types
+					return nil
+				},
+			},
+			resilience.Stage[StreamDoc]{
+				Name:       "taxonomy",
+				Transient:  true,
+				Degradable: true,
+				Fn: func(_ context.Context, _ int, sd *StreamDoc) error {
+					var subs []string
+					for _, s := range streamCategorizer.Categorize(sd.Text).Subs() {
+						subs = append(subs, string(s))
+					}
+					sd.Attacks = subs
+					sd.SeedQuery = streamSeedQuery.Match(sd.Text)
+					return nil
+				},
+			},
+		)
+	}
+	if opts.StageWrap != nil {
+		for i := range stages {
+			stages[i] = opts.StageWrap(stages[i])
+		}
+	}
+	return stages
+}
+
+// streamRunner builds the resilience runner for the given options.
+func (d *Detector) streamRunner(opts StreamOptions) *resilience.Runner[StreamDoc] {
+	return resilience.NewRunner(resilience.Config[StreamDoc]{
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		Retry:    opts.Retry,
+		Ordered:  opts.Ordered,
+		Describe: func(sd *StreamDoc) string { return sd.ID },
+	}, d.streamStages(opts)...)
+}
+
+// ScoreStream scores documents from in on a fault-tolerant worker
+// pool. The returned channel must be drained until closed; each result
+// carries the scored document, its degradation marks, or its
+// dead-letter record. Cancel ctx to stop early.
+func (d *Detector) ScoreStream(ctx context.Context, in <-chan StreamDoc, opts StreamOptions) <-chan resilience.Result[StreamDoc] {
+	return d.streamRunner(opts).Process(ctx, in)
+}
+
+// ScoreBatch is the slice convenience over ScoreStream: results come
+// back in input order together with the run summary.
+func (d *Detector) ScoreBatch(ctx context.Context, docs []StreamDoc, opts StreamOptions) ([]resilience.Result[StreamDoc], resilience.Summary, error) {
+	return d.streamRunner(opts).RunSlice(ctx, docs)
+}

@@ -3,6 +3,7 @@ package corpus
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -25,54 +26,184 @@ type JSONLDocument struct {
 	IsDox       *bool  `json:"is_dox,omitempty"`
 }
 
+// LineError is one quarantined JSONL line from a lenient read: the
+// structured dead-letter record for malformed ingest input.
+type LineError struct {
+	// Line is the 1-based line number in the input stream.
+	Line int
+	// Err is the parse or validation failure.
+	Err error
+	// Preview is a short prefix of the offending line (never more than
+	// previewLen bytes), for diagnostics.
+	Preview string
+}
+
+const previewLen = 80
+
+func (e LineError) Error() string {
+	if e.Preview == "" {
+		return fmt.Sprintf("corpus: jsonl line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("corpus: jsonl line %d: %v (line starts %q)", e.Line, e.Err, e.Preview)
+}
+
+func (e LineError) Unwrap() error { return e.Err }
+
+// JSONLOptions controls ReadJSONLOpts.
+type JSONLOptions struct {
+	// Lenient quarantines malformed or oversized lines as LineErrors
+	// instead of aborting the read.
+	Lenient bool
+	// MaxLineBytes bounds one line; longer lines error (strict) or
+	// quarantine (lenient) with the line number, never a silent
+	// truncated read. 0 means 16 MiB.
+	MaxLineBytes int
+}
+
+// ErrLineTooLong reports a line exceeding MaxLineBytes. It names the
+// condition explicitly (unlike bufio.ErrTooLong, which a Scanner-based
+// reader would surface with no line number).
+var ErrLineTooLong = errors.New("line exceeds maximum length")
+
 // ReadJSONL decodes one document per line from r. Blank lines are
 // skipped; a malformed line aborts with an error naming the line number.
 // Documents missing an ID are assigned sequential ones.
 func ReadJSONL(r io.Reader) ([]Document, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	var out []Document
+	docs, _, err := ReadJSONLOpts(r, JSONLOptions{})
+	return docs, err
+}
+
+// ReadJSONLLenient decodes one document per line from r, quarantining
+// malformed and oversized lines instead of aborting: the returned
+// LineErrors record each skipped line's number and cause. err is
+// non-nil only for I/O failures of r itself.
+func ReadJSONLLenient(r io.Reader) ([]Document, []LineError, error) {
+	return ReadJSONLOpts(r, JSONLOptions{Lenient: true})
+}
+
+// ReadJSONLOpts is the option-driven form of ReadJSONL. In strict mode
+// (the default) the first bad line aborts the read and bad is nil; in
+// lenient mode every bad line is returned in bad and err reports only
+// I/O failures.
+func ReadJSONLOpts(r io.Reader, opts JSONLOptions) (docs []Document, bad []LineError, err error) {
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = 16 << 20
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
 	line := 0
-	for sc.Scan() {
+	for {
+		raw, tooLong, rerr := readLine(br, opts.MaxLineBytes)
+		if rerr != nil && rerr != io.EOF {
+			return docs, bad, fmt.Errorf("corpus: jsonl line %d: read: %w", line+1, rerr)
+		}
+		if len(raw) == 0 && !tooLong && rerr == io.EOF {
+			return docs, bad, nil
+		}
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+		fail := func(cause error, preview string) error {
+			le := LineError{Line: line, Err: cause, Preview: preview}
+			if opts.Lenient {
+				bad = append(bad, le)
+				return nil
+			}
+			return le
+		}
+		switch {
+		case tooLong:
+			if ferr := fail(ErrLineTooLong, preview(raw)); ferr != nil {
+				return nil, nil, ferr
+			}
+		case len(raw) > 0:
+			if d, derr := decodeJSONLLine(raw, line); derr != nil {
+				if ferr := fail(derr, preview(raw)); ferr != nil {
+					return nil, nil, ferr
+				}
+			} else {
+				docs = append(docs, d)
+			}
+		}
+		if rerr == io.EOF {
+			return docs, bad, nil
+		}
+	}
+}
+
+// preview returns a short printable prefix of a raw line.
+func preview(raw []byte) string {
+	if len(raw) > previewLen {
+		raw = raw[:previewLen]
+	}
+	return string(raw)
+}
+
+// readLine reads one newline-terminated line of at most max bytes. A
+// longer line is discarded to its end and reported with tooLong=true,
+// returning only a short retained prefix for diagnostics. err is
+// io.EOF at end of input (the final line may be unterminated).
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		frag, rerr := br.ReadSlice('\n')
+		hasNL := len(frag) > 0 && frag[len(frag)-1] == '\n'
+		if !tooLong {
+			line = append(line, frag...)
+			if n := len(line); hasNL {
+				line = line[:n-1]
+				if n >= 2 && line[n-2] == '\r' {
+					line = line[:n-2]
+				}
+			}
+			if len(line) > max {
+				tooLong = true
+				if len(line) > previewLen {
+					line = line[:previewLen]
+				}
+			}
+		}
+		switch {
+		case hasNL:
+			return line, tooLong, nil
+		case rerr == bufio.ErrBufferFull:
 			continue
+		case rerr == nil:
+			// ReadSlice without delim or error cannot happen; loop.
+			continue
+		default:
+			return line, tooLong, rerr
 		}
-		var jd JSONLDocument
-		if err := json.Unmarshal(raw, &jd); err != nil {
-			return nil, fmt.Errorf("corpus: jsonl line %d: %w", line, err)
-		}
-		if jd.Text == "" {
-			return nil, fmt.Errorf("corpus: jsonl line %d: missing text", line)
-		}
-		d := Document{
-			ID:          jd.ID,
-			Dataset:     Dataset(jd.Dataset),
-			Platform:    Platform(jd.Platform),
-			Domain:      jd.Domain,
-			ThreadID:    jd.ThreadID,
-			PosInThread: jd.PosInThread,
-			ThreadSize:  jd.ThreadSize,
-			Author:      jd.Author,
-			Date:        jd.Date,
-			Text:        jd.Text,
-		}
-		if d.ID == "" {
-			d.ID = fmt.Sprintf("jsonl-%08d", line)
-		}
-		if jd.IsCTH != nil {
-			d.Truth.IsCTH = *jd.IsCTH
-		}
-		if jd.IsDox != nil {
-			d.Truth.IsDox = *jd.IsDox
-		}
-		out = append(out, d)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("corpus: jsonl: %w", err)
+}
+
+// decodeJSONLLine parses and validates one non-blank line.
+func decodeJSONLLine(raw []byte, line int) (Document, error) {
+	var jd JSONLDocument
+	if err := json.Unmarshal(raw, &jd); err != nil {
+		return Document{}, err
 	}
-	return out, nil
+	if jd.Text == "" {
+		return Document{}, errors.New("missing text")
+	}
+	d := Document{
+		ID:          jd.ID,
+		Dataset:     Dataset(jd.Dataset),
+		Platform:    Platform(jd.Platform),
+		Domain:      jd.Domain,
+		ThreadID:    jd.ThreadID,
+		PosInThread: jd.PosInThread,
+		ThreadSize:  jd.ThreadSize,
+		Author:      jd.Author,
+		Date:        jd.Date,
+		Text:        jd.Text,
+	}
+	if d.ID == "" {
+		d.ID = fmt.Sprintf("jsonl-%08d", line)
+	}
+	if jd.IsCTH != nil {
+		d.Truth.IsCTH = *jd.IsCTH
+	}
+	if jd.IsDox != nil {
+		d.Truth.IsDox = *jd.IsDox
+	}
+	return d, nil
 }
 
 // WriteJSONL encodes documents one per line to w. includeTruth controls

@@ -2,6 +2,8 @@ package corpus
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -71,6 +73,118 @@ func TestReadJSONLMinimal(t *testing.T) {
 	}
 	if docs[1].Platform != PlatformGab {
 		t.Errorf("platform = %q", docs[1].Platform)
+	}
+}
+
+func TestReadJSONLLenientQuarantinesBadLines(t *testing.T) {
+	in := strings.Join([]string{
+		`{"text":"good one"}`,
+		`{broken json`,
+		`{"text":"good two","platform":"gab"}`,
+		`{"id":"no-text"}`,
+		``,
+		`not json at all`,
+		`{"text":"good three"}`,
+	}, "\n")
+	docs, bad, err := ReadJSONLLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d, want 3", len(docs))
+	}
+	if docs[0].Text != "good one" || docs[1].Platform != PlatformGab || docs[2].Text != "good three" {
+		t.Fatalf("wrong docs survived: %+v", docs)
+	}
+	wantLines := []int{2, 4, 6}
+	if len(bad) != len(wantLines) {
+		t.Fatalf("bad = %d lines (%v), want %v", len(bad), bad, wantLines)
+	}
+	for i, le := range bad {
+		if le.Line != wantLines[i] {
+			t.Errorf("bad[%d].Line = %d, want %d", i, le.Line, wantLines[i])
+		}
+		if !strings.Contains(le.Error(), "line") {
+			t.Errorf("LineError message lacks line number: %v", le)
+		}
+	}
+	if !strings.Contains(bad[1].Err.Error(), "missing text") {
+		t.Errorf("bad[1] = %v, want missing text", bad[1])
+	}
+	if bad[0].Preview == "" {
+		t.Error("quarantined line has no preview")
+	}
+}
+
+func TestReadJSONLLenientOversizedLine(t *testing.T) {
+	huge := `{"text":"` + strings.Repeat("a", 500) + `"}`
+	in := `{"text":"ok1"}` + "\n" + huge + "\n" + `{"text":"ok2"}`
+	docs, bad, err := ReadJSONLOpts(strings.NewReader(in), JSONLOptions{Lenient: true, MaxLineBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Text != "ok1" || docs[1].Text != "ok2" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if len(bad) != 1 || bad[0].Line != 2 {
+		t.Fatalf("bad = %+v, want line 2 quarantined", bad)
+	}
+	if !errors.Is(bad[0], ErrLineTooLong) {
+		t.Fatalf("bad[0] = %v, want ErrLineTooLong", bad[0].Err)
+	}
+}
+
+func TestReadJSONLStrictOversizedLineNamesLine(t *testing.T) {
+	// An oversized line larger than the internal read buffer must
+	// produce a clear line-numbered error, not bufio.ErrTooLong or a
+	// silent truncated read.
+	huge := `{"text":"` + strings.Repeat("b", 200<<10) + `"}`
+	in := `{"text":"ok"}` + "\n" + huge
+	_, _, err := ReadJSONLOpts(strings.NewReader(in), JSONLOptions{MaxLineBytes: 64 << 10})
+	if err == nil {
+		t.Fatal("oversized line should error in strict mode")
+	}
+	if !errors.Is(err, ErrLineTooLong) || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want ErrLineTooLong naming line 2", err)
+	}
+}
+
+func TestReadJSONLLenientLineNumbersWithBlanksAndCRLF(t *testing.T) {
+	in := "{\"text\":\"one\"}\r\n\r\n{bad\r\n{\"text\":\"two\"}\r\n"
+	docs, bad, err := ReadJSONLLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Text != "one" || docs[1].Text != "two" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if len(bad) != 1 || bad[0].Line != 3 {
+		t.Fatalf("bad = %+v, want only line 3", bad)
+	}
+	// Auto-assigned IDs embed the true line number.
+	if docs[1].ID != "jsonl-00000004" {
+		t.Errorf("doc 2 ID = %q, want line-4 derived", docs[1].ID)
+	}
+}
+
+func TestReadJSONLStrictUnchangedOnCleanInput(t *testing.T) {
+	// Strict and lenient agree on clean input.
+	in := `{"text":"a"}` + "\n" + `{"text":"b"}`
+	strict, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, bad, err := ReadJSONLLenient(strings.NewReader(in))
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("lenient on clean input: bad=%v err=%v", bad, err)
+	}
+	if len(strict) != len(lenient) {
+		t.Fatalf("strict %d docs, lenient %d", len(strict), len(lenient))
+	}
+	for i := range strict {
+		if fmt.Sprintf("%+v", strict[i]) != fmt.Sprintf("%+v", lenient[i]) {
+			t.Fatalf("doc %d differs: %+v vs %+v", i, strict[i], lenient[i])
+		}
 	}
 }
 

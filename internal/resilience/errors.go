@@ -1,0 +1,79 @@
+package resilience
+
+import "errors"
+
+// Stages classify their own failures by default (Stage.Transient), but
+// an individual error can override the stage's classification by
+// wrapping it with Transient or Permanent. The chaos harness marks its
+// injected faults Transient so that any wrapped stage retries them, and
+// validation failures inside otherwise-transient stages can be marked
+// Permanent to fail fast instead of burning attempts.
+
+// transientError marks an error as retryable regardless of the stage's
+// Transient flag.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// permanentError marks an error as non-retryable regardless of the
+// stage's Transient flag.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return "permanent: " + e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Transient wraps err so the runner retries it even in a stage not
+// marked Transient. Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// Permanent wraps err so the runner fails it immediately even in a
+// stage marked Transient. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsTransient reports whether err carries a Transient marker.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// IsPermanent reports whether err carries a Permanent marker.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// retryable decides whether a stage failure should be retried:
+// per-error markers win, then the stage's Transient flag. Recovered
+// panics follow the stage flag unless the panic value itself carried a
+// marker (the chaos harness panics with marked errors).
+func retryable(stage bool, err error) bool {
+	if IsPermanent(err) {
+		return false
+	}
+	if IsTransient(err) {
+		return true
+	}
+	var p *PanicError
+	if errors.As(err, &p) {
+		if inner, ok := p.Value.(error); ok {
+			if IsPermanent(inner) {
+				return false
+			}
+			if IsTransient(inner) {
+				return true
+			}
+		}
+	}
+	return stage
+}

@@ -1,0 +1,159 @@
+// Package resilience is the fault-tolerant document-processing runtime
+// underneath the streaming ingest and scoring paths. The paper's
+// measurement system ran continuously over five live platform feeds
+// (405.9M board posts, 70.3M chat messages, ...), where crawler
+// hiccups, malformed records and slow stages are the norm; this package
+// provides the equivalent robustness layer for the reproduction:
+//
+//   - a bounded worker-pool executor (Runner) with context cancellation
+//     and per-stage attempt deadlines;
+//   - per-document panic recovery and error isolation: a poison
+//     document is quarantined to a dead-letter queue (recording the
+//     failing stage, error and attempt count) instead of killing the
+//     run;
+//   - retry with exponential backoff and seeded jitter, driven by
+//     randx so that runs remain deterministic;
+//   - graceful degradation: stages marked Degradable annotate the
+//     document as degraded on permanent failure instead of dropping it.
+//
+// Determinism contract: every per-item random stream (retry jitter,
+// span sampling inside stage functions, chaos injection) is derived
+// from (seed, stage name, item index) via randx.Split/SplitN, never
+// from wall-clock time or scheduling order. Worker scheduling therefore
+// affects only completion order, which Reorder and RunSlice normalise
+// back to input order.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Status classifies the outcome of processing one item.
+type Status int
+
+const (
+	// StatusOK: every stage succeeded.
+	StatusOK Status = iota
+	// StatusDegraded: at least one Degradable stage failed permanently;
+	// the item was still emitted with those annotations marked degraded.
+	StatusDegraded
+	// StatusQuarantined: a required stage failed permanently; the item
+	// was sent to the dead-letter queue.
+	StatusQuarantined
+)
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDegraded:
+		return "degraded"
+	case StatusQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// DeadLetter is one quarantined item: the poison-document record the
+// runtime emits instead of aborting the run.
+type DeadLetter struct {
+	// Index is the item's position in the input stream (0-based).
+	Index int
+	// ID identifies the item when the runner was configured with a
+	// Describe function; otherwise empty.
+	ID string
+	// Stage is the name of the stage that failed permanently.
+	Stage string
+	// Attempts is how many times the failing stage ran.
+	Attempts int
+	// Err is the final error (a PanicError if the stage panicked).
+	Err error
+}
+
+func (d DeadLetter) String() string {
+	id := d.ID
+	if id == "" {
+		id = fmt.Sprintf("#%d", d.Index)
+	}
+	return fmt.Sprintf("%s: stage %q failed after %d attempt(s): %v", id, d.Stage, d.Attempts, d.Err)
+}
+
+// PanicError is a recovered stage panic, preserved as an error so a
+// panicking stage is handled by the same retry/quarantine machinery as
+// a failing one.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// capturePanic converts a recovered panic value into a PanicError.
+func capturePanic(v any) error {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Result is the outcome of running every stage over one item.
+type Result[T any] struct {
+	// Index is the item's position in the input stream.
+	Index int
+	// Item is the item's final state. For quarantined items it holds
+	// the state reached before the fatal stage.
+	Item T
+	// Status classifies the outcome.
+	Status Status
+	// Degraded lists the Degradable stages that failed permanently.
+	Degraded []string
+	// Dead is set when Status is StatusQuarantined.
+	Dead *DeadLetter
+}
+
+// Summary aggregates the outcomes of a run: the CLI tools print it as
+// the final processed/succeeded/quarantined line.
+type Summary struct {
+	Processed   int
+	Succeeded   int
+	Degraded    int
+	Quarantined int
+	// DeadLetters holds the quarantine records, in input order.
+	DeadLetters []DeadLetter
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("processed=%d succeeded=%d degraded=%d quarantined=%d",
+		s.Processed, s.Succeeded, s.Degraded, s.Quarantined)
+}
+
+// Summarize aggregates results (in any order) into a Summary with
+// dead letters sorted by input index.
+func Summarize[T any](results []Result[T]) Summary {
+	sum := Summary{Processed: len(results)}
+	for _, r := range results {
+		switch r.Status {
+		case StatusOK:
+			sum.Succeeded++
+		case StatusDegraded:
+			sum.Succeeded++
+			sum.Degraded++
+		case StatusQuarantined:
+			sum.Quarantined++
+			if r.Dead != nil {
+				sum.DeadLetters = append(sum.DeadLetters, *r.Dead)
+			}
+		}
+	}
+	sortDeadLetters(sum.DeadLetters)
+	return sum
+}
+
+func sortDeadLetters(dl []DeadLetter) {
+	for i := 1; i < len(dl); i++ {
+		for j := i; j > 0 && dl[j].Index < dl[j-1].Index; j-- {
+			dl[j], dl[j-1] = dl[j-1], dl[j]
+		}
+	}
+}

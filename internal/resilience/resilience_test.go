@@ -1,0 +1,404 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harassrepro/internal/randx"
+)
+
+// doc is the test item type: a tiny document with annotation fields.
+type doc struct {
+	ID    string
+	Text  string
+	Score float64
+	Tags  []string
+}
+
+func makeDocs(n int) []doc {
+	out := make([]doc, n)
+	for i := range out {
+		out[i] = doc{ID: fmt.Sprintf("d%03d", i), Text: fmt.Sprintf("document %d body", i)}
+	}
+	return out
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 50 * time.Microsecond}
+}
+
+func TestRunSliceAllSucceed(t *testing.T) {
+	r := NewRunner(Config[doc]{Workers: 4, Seed: 1, Retry: fastRetry()},
+		Stage[doc]{Name: "score", Fn: func(_ context.Context, index int, d *doc) error {
+			d.Score = float64(index) + 0.5
+			return nil
+		}},
+		Stage[doc]{Name: "tag", Fn: func(_ context.Context, _ int, d *doc) error {
+			d.Tags = []string{"t:" + d.ID}
+			return nil
+		}},
+	)
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Processed != 100 || sum.Succeeded != 100 || sum.Quarantined != 0 || sum.Degraded != 0 {
+		t.Fatalf("summary = %v", sum)
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("result %d has index %d: not input order", i, res.Index)
+		}
+		if res.Status != StatusOK || res.Item.Score != float64(i)+0.5 || len(res.Item.Tags) != 1 {
+			t.Fatalf("result %d = %+v", i, res)
+		}
+	}
+}
+
+func TestQuarantineIsolatesPoisonDocuments(t *testing.T) {
+	poison := func(i int) bool { return i%17 == 3 }
+	r := NewRunner(Config[doc]{Workers: 8, Seed: 2, Retry: fastRetry(),
+		Describe: func(d *doc) string { return d.ID }},
+		Stage[doc]{Name: "parse", Fn: func(_ context.Context, index int, d *doc) error {
+			if poison(index) {
+				return fmt.Errorf("unparseable document %d", index)
+			}
+			d.Score = 1
+			return nil
+		}},
+	)
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDead := 0
+	for i := 0; i < 60; i++ {
+		if poison(i) {
+			wantDead++
+		}
+	}
+	if sum.Quarantined != wantDead || sum.Succeeded != 60-wantDead {
+		t.Fatalf("summary = %v, want %d quarantined", sum, wantDead)
+	}
+	for _, res := range results {
+		if poison(res.Index) {
+			if res.Status != StatusQuarantined || res.Dead == nil {
+				t.Fatalf("poison doc %d not quarantined: %+v", res.Index, res)
+			}
+			if res.Dead.Stage != "parse" || res.Dead.ID != res.Item.ID || res.Dead.Attempts != 1 {
+				t.Fatalf("dead letter = %+v", res.Dead)
+			}
+		} else if res.Status != StatusOK {
+			t.Fatalf("healthy doc %d got %v", res.Index, res.Status)
+		}
+	}
+	// Dead letters arrive sorted by input index.
+	for i := 1; i < len(sum.DeadLetters); i++ {
+		if sum.DeadLetters[i].Index <= sum.DeadLetters[i-1].Index {
+			t.Fatal("dead letters not sorted by index")
+		}
+	}
+	if !strings.Contains(sum.DeadLetters[0].String(), "parse") {
+		t.Errorf("dead letter string lacks stage: %s", sum.DeadLetters[0])
+	}
+}
+
+func TestPanicRecoveryQuarantinesNotCrashes(t *testing.T) {
+	r := NewRunner(Config[doc]{Workers: 4, Seed: 3, Retry: fastRetry()},
+		Stage[doc]{Name: "boom", Fn: func(_ context.Context, index int, d *doc) error {
+			if index == 5 {
+				panic("nil pointer dereference simulation")
+			}
+			return nil
+		}},
+	)
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 1 || sum.Succeeded != 9 {
+		t.Fatalf("summary = %v", sum)
+	}
+	dead := results[5]
+	if dead.Status != StatusQuarantined {
+		t.Fatalf("panicking doc not quarantined: %+v", dead)
+	}
+	var pe *PanicError
+	if !errors.As(dead.Dead.Err, &pe) {
+		t.Fatalf("dead letter error is %T, want *PanicError", dead.Dead.Err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "nil pointer") {
+		t.Errorf("panic error incomplete: %v", pe)
+	}
+}
+
+func TestTransientRetrySucceedsAndCountsAttempts(t *testing.T) {
+	var attempts atomic.Int64
+	r2 := NewRunner(Config[doc]{Workers: 1, Seed: 4, Retry: fastRetry()},
+		Stage[doc]{Name: "flaky", Transient: true, Fn: func(_ context.Context, _ int, d *doc) error {
+			if attempts.Add(1) < 3 {
+				return errors.New("temporary backend hiccup")
+			}
+			d.Score = 7
+			return nil
+		}},
+	)
+	results, sum, err := r2.RunSlice(context.Background(), makeDocs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Succeeded != 1 || results[0].Item.Score != 7 {
+		t.Fatalf("flaky stage did not recover: %v %+v", sum, results[0])
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryExhaustionRecordsAttemptCount(t *testing.T) {
+	r := NewRunner(Config[doc]{Workers: 2, Seed: 5, Retry: fastRetry()},
+		Stage[doc]{Name: "alwaysdown", Transient: true, Fn: func(_ context.Context, _ int, _ *doc) error {
+			return errors.New("backend unreachable")
+		}},
+	)
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 3 {
+		t.Fatalf("summary = %v", sum)
+	}
+	for _, res := range results {
+		if res.Dead.Attempts != 4 {
+			t.Fatalf("attempts = %d, want MaxAttempts=4", res.Dead.Attempts)
+		}
+	}
+}
+
+func TestErrorMarkersOverrideStagePolicy(t *testing.T) {
+	// Permanent marker inside a transient stage fails fast.
+	var permCalls atomic.Int64
+	r := NewRunner(Config[doc]{Workers: 1, Seed: 6, Retry: fastRetry()},
+		Stage[doc]{Name: "validate", Transient: true, Fn: func(_ context.Context, _ int, _ *doc) error {
+			permCalls.Add(1)
+			return Permanent(errors.New("schema violation"))
+		}},
+	)
+	_, sum, _ := r.RunSlice(context.Background(), makeDocs(1))
+	if sum.Quarantined != 1 || permCalls.Load() != 1 {
+		t.Fatalf("permanent marker retried: calls=%d sum=%v", permCalls.Load(), sum)
+	}
+	// Transient marker inside a non-transient stage retries.
+	var transCalls atomic.Int64
+	r2 := NewRunner(Config[doc]{Workers: 1, Seed: 6, Retry: fastRetry()},
+		Stage[doc]{Name: "strict", Fn: func(_ context.Context, _ int, d *doc) error {
+			if transCalls.Add(1) < 2 {
+				return Transient(errors.New("blip"))
+			}
+			return nil
+		}},
+	)
+	_, sum2, _ := r2.RunSlice(context.Background(), makeDocs(1))
+	if sum2.Succeeded != 1 || transCalls.Load() != 2 {
+		t.Fatalf("transient marker not retried: calls=%d sum=%v", transCalls.Load(), sum2)
+	}
+	if !IsTransient(Transient(errors.New("x"))) || !IsPermanent(Permanent(errors.New("x"))) {
+		t.Error("marker predicates broken")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("nil markers should stay nil")
+	}
+}
+
+func TestDegradationEmitsInsteadOfDropping(t *testing.T) {
+	r := NewRunner(Config[doc]{Workers: 4, Seed: 7, Retry: fastRetry()},
+		Stage[doc]{Name: "score", Fn: func(_ context.Context, index int, d *doc) error {
+			d.Score = float64(index)
+			return nil
+		}},
+		Stage[doc]{Name: "pii", Degradable: true, Fn: func(_ context.Context, index int, d *doc) error {
+			if index%2 == 0 {
+				return errors.New("extractor crashed")
+			}
+			d.Tags = append([]string{}, "pii-ok")
+			return nil
+		}},
+	)
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 0 || sum.Succeeded != 10 || sum.Degraded != 5 {
+		t.Fatalf("summary = %v", sum)
+	}
+	for _, res := range results {
+		if res.Index%2 == 0 {
+			if res.Status != StatusDegraded || len(res.Degraded) != 1 || res.Degraded[0] != "pii" {
+				t.Fatalf("doc %d not degraded correctly: %+v", res.Index, res)
+			}
+			// The earlier stage's work is preserved.
+			if res.Item.Score != float64(res.Index) {
+				t.Fatalf("degraded doc %d lost score", res.Index)
+			}
+		} else if res.Status != StatusOK {
+			t.Fatalf("doc %d status %v", res.Index, res.Status)
+		}
+	}
+}
+
+func TestFailedAttemptDoesNotCommitPartialMutation(t *testing.T) {
+	var attempts atomic.Int64
+	r := NewRunner(Config[doc]{Workers: 1, Seed: 8, Retry: fastRetry()},
+		Stage[doc]{Name: "mutator", Transient: true, Fn: func(_ context.Context, _ int, d *doc) error {
+			d.Text = d.Text + "+garbage" // mutate, then maybe fail
+			if attempts.Add(1) < 3 {
+				return errors.New("failed after partial write")
+			}
+			return nil
+		}},
+	)
+	results, _, err := r.RunSlice(context.Background(), makeDocs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the successful attempt's single mutation is visible.
+	if got := results[0].Item.Text; strings.Count(got, "+garbage") != 1 {
+		t.Fatalf("partial mutations leaked across retries: %q", got)
+	}
+}
+
+func TestStageTimeoutAbandonsStuckAttempt(t *testing.T) {
+	var attempts atomic.Int64
+	r := NewRunner(Config[doc]{Workers: 2, Seed: 9, Retry: fastRetry()},
+		Stage[doc]{Name: "slow", Transient: true, Timeout: 5 * time.Millisecond,
+			Fn: func(ctx context.Context, _ int, d *doc) error {
+				if attempts.Add(1) == 1 {
+					// First attempt wedges until well past the deadline.
+					select {
+					case <-time.After(200 * time.Millisecond):
+					case <-ctx.Done():
+						<-time.After(1 * time.Millisecond) // linger past abandonment
+					}
+					return nil
+				}
+				d.Score = 42
+				return nil
+			}},
+	)
+	start := time.Now()
+	results, sum, err := r.RunSlice(context.Background(), makeDocs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Succeeded != 1 || results[0].Item.Score != 42 {
+		t.Fatalf("timeout retry failed: %v %+v", sum, results[0])
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("worker waited for the stuck attempt: %v", elapsed)
+	}
+}
+
+func TestContextCancellationStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	r := NewRunner(Config[doc]{Workers: 2, Seed: 10, Retry: fastRetry()},
+		Stage[doc]{Name: "gate", Fn: func(ctx context.Context, _ int, _ *doc) error {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			return ctx.Err()
+		}},
+	)
+	results, _, err := r.RunSlice(ctx, makeDocs(1000))
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if len(results) >= 1000 {
+		t.Fatalf("cancellation did not stop intake: %d results", len(results))
+	}
+}
+
+func TestProcessOrderedStreaming(t *testing.T) {
+	r := NewRunner(Config[doc]{Workers: 4, Seed: 11, Retry: fastRetry(), Ordered: true},
+		Stage[doc]{Name: "jittery", Fn: func(_ context.Context, index int, d *doc) error {
+			// Vary work so completion order differs from input order.
+			time.Sleep(time.Duration((index%7)*100) * time.Microsecond)
+			d.Score = float64(index)
+			return nil
+		}},
+	)
+	in := make(chan doc)
+	go func() {
+		defer close(in)
+		for _, d := range makeDocs(200) {
+			in <- d
+		}
+	}()
+	next := 0
+	for res := range r.Process(context.Background(), in) {
+		if res.Index != next {
+			t.Fatalf("ordered stream emitted index %d, want %d", res.Index, next)
+		}
+		next++
+	}
+	if next != 200 {
+		t.Fatalf("stream emitted %d results", next)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []Result[doc] {
+		r := NewRunner(Config[doc]{Workers: workers, Seed: 42, Retry: fastRetry()},
+			Stage[doc]{Name: "score", Fn: func(_ context.Context, index int, d *doc) error {
+				// Deterministic per-item randomness, derived the way
+				// stages are meant to: from (seed, item index).
+				rng := randx.New(42).Split("score").SplitN("doc", index)
+				d.Score = rng.Float64()
+				return nil
+			}},
+		)
+		results, _, err := r.RunSlice(context.Background(), makeDocs(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i].Item.Score != b[i].Item.Score {
+			t.Fatalf("doc %d: score %v (1 worker) != %v (8 workers)", i, a[i].Item.Score, b[i].Item.Score)
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	a := randx.New(9).Split("jitter")
+	b := randx.New(9).Split("jitter")
+	for attempt := 1; attempt <= 8; attempt++ {
+		da, db := p.backoff(attempt, a), p.backoff(attempt, b)
+		if da != db {
+			t.Fatalf("jitter nondeterministic at attempt %d: %v vs %v", attempt, da, db)
+		}
+		if da < 0 || da > p.MaxDelay {
+			t.Fatalf("backoff %v outside [0, %v]", da, p.MaxDelay)
+		}
+	}
+}
+
+func TestStatusAndSummaryStrings(t *testing.T) {
+	for s, want := range map[Status]string{StatusOK: "ok", StatusDegraded: "degraded", StatusQuarantined: "quarantined"} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q", int(s), s.String())
+		}
+	}
+	sum := Summary{Processed: 5, Succeeded: 4, Quarantined: 1}
+	if !strings.Contains(sum.String(), "processed=5") || !strings.Contains(sum.String(), "quarantined=1") {
+		t.Errorf("summary string = %q", sum.String())
+	}
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"harassrepro/internal/randx"
+)
+
+// RetryPolicy is exponential backoff with full seeded jitter. The
+// jitter stream is derived from (runner seed, stage name, item index),
+// so the sequence of sleep durations for a given item is deterministic
+// across runs and independent of worker scheduling. Sleeps never affect
+// item output — only wall-clock — so determinism of results does not
+// depend on them at all; seeding them anyway keeps traces reproducible.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times a retryable stage runs per
+	// item (>= 1). 0 means the default of 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt. 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 250ms.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt. 0 means 2.
+	Multiplier float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// backoff returns the full-jitter delay before attempt n (1-based: the
+// delay taken after attempt n failed): uniform in [0, min(MaxDelay,
+// BaseDelay * Multiplier^(n-1))].
+func (p RetryPolicy) backoff(attempt int, rng *randx.Source) time.Duration {
+	ceil := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		ceil *= p.Multiplier
+		if ceil >= float64(p.MaxDelay) {
+			ceil = float64(p.MaxDelay)
+			break
+		}
+	}
+	if ceil > float64(p.MaxDelay) {
+		ceil = float64(p.MaxDelay)
+	}
+	return time.Duration(rng.Float64() * ceil)
+}
+
+// sleep waits for d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

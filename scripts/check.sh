@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository verification: build, vet, full test suite, and the
+# concurrent runtime's tests under the race detector.
+#
+# Usage: scripts/check.sh [-fast]
+#   -fast  skip the full (slow) test suite; build + vet + race only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "-fast" ]] && fast=1
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+if [[ $fast -eq 0 ]]; then
+  echo "== go test ./..."
+  go test ./...
+fi
+
+# The concurrent runtime (worker pool, chaos harness, streaming
+# scoring) must be race-clean, not just correct.
+echo "== go test -race ./internal/resilience/... ./internal/core/..."
+go test -race ./internal/resilience/... ./internal/core/...
+
+echo "OK"
