@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"harassrepro/internal/features"
+	"harassrepro/internal/tokenize"
 )
 
 var (
@@ -35,6 +38,7 @@ func benchPipeline(b *testing.B) *Study {
 // benchExperiment times the regeneration of one experiment artifact.
 func benchExperiment(b *testing.B, id string) {
 	s := benchPipeline(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := s.Experiment(id)
@@ -51,6 +55,7 @@ func benchExperiment(b *testing.B, id string) {
 // (corpus generation, both classifier pipelines, thresholding and
 // annotation) at quick scale.
 func BenchmarkPipelineEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(QuickConfig(uint64(i) + 100)); err != nil {
 			b.Fatal(err)
@@ -102,6 +107,7 @@ func BenchmarkScoreDistributions(b *testing.B)        { benchExperiment(b, "scor
 func BenchmarkScoreCTH(b *testing.B) {
 	s := benchPipeline(b)
 	text := "we need to mass-report his twitter and youtube, spread the word"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.ScoreCTH(text)
@@ -112,6 +118,7 @@ func BenchmarkScoreCTH(b *testing.B) {
 func BenchmarkScoreDox(b *testing.B) {
 	s := benchPipeline(b)
 	text := "DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188 / fb: jane.roe.42"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.ScoreDox(text)
@@ -163,6 +170,7 @@ func benchStreamDocs(n int) []StreamDocument {
 func BenchmarkScoreStreamSequential(b *testing.B) {
 	det := benchDetector(b)
 	docs := benchStreamDocs(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, d := range docs {
@@ -177,6 +185,7 @@ func BenchmarkScoreStreamSequential(b *testing.B) {
 func BenchmarkScoreStream(b *testing.B) {
 	det := benchDetector(b)
 	docs := benchStreamDocs(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, sum, err := det.ScoreStream(context.Background(), docs, StreamOptions{Seed: 1})
@@ -192,6 +201,7 @@ func BenchmarkScoreStream(b *testing.B) {
 // BenchmarkExtractPII times the 12-extractor PII pass on a dense dox.
 func BenchmarkExtractPII(b *testing.B) {
 	text := "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ExtractPII(text)
@@ -201,8 +211,82 @@ func BenchmarkExtractPII(b *testing.B) {
 // BenchmarkCategorizeAttack times the taxonomy coder.
 func BenchmarkCategorizeAttack(b *testing.B) {
 	text := "get her phone number and address, then raid the stream and mass report her channel"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CategorizeAttack(text)
+	}
+}
+
+// Hot-path micro-benchmark inputs: a short chat message (the common
+// streamed case) and a long paste (the span-sampling case).
+const (
+	benchShortChat = "we need to mass-report his twitter and youtube, spread the word"
+	benchCleanChat = "anyone up for ranked tonight, patch notes are out, new map is wild"
+)
+
+func benchLongPaste() string {
+	var sb []byte
+	for i := 0; i < 60; i++ {
+		sb = append(sb, "the thread keeps growing and everyone is posting receipts about the drama again "...)
+	}
+	return string(sb)
+}
+
+// BenchmarkBasicTokenize times the reusable single-pass tokenizer on
+// steady state (the scoring hot path holds one per goroutine).
+func BenchmarkBasicTokenize(b *testing.B) {
+	for _, c := range []struct{ name, text string }{
+		{"short-chat", benchShortChat},
+		{"long-paste", benchLongPaste()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var bt tokenize.BasicTokenizer
+			bt.Tokenize(c.text) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt.Tokenize(c.text)
+			}
+		})
+	}
+}
+
+// BenchmarkFeaturize times steady-state hashing vectorization (inline
+// FNV-1a over the token sequence into reusable scratch).
+func BenchmarkFeaturize(b *testing.B) {
+	h := features.NewHasher(features.HasherConfig{Buckets: 1 << 18, Bigrams: true})
+	for _, c := range []struct{ name, text string }{
+		{"short-chat", benchShortChat},
+		{"long-paste", benchLongPaste()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			toks := tokenize.BasicTokenize(c.text)
+			f := h.NewFeaturizer()
+			f.Vectorize(toks) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Vectorize(toks)
+			}
+		})
+	}
+}
+
+// BenchmarkPIIExtract times the prefiltered extraction pass: clean
+// documents are rejected by the literal scan alone; the dense dox pays
+// for the regex families its gate literals admit.
+func BenchmarkPIIExtract(b *testing.B) {
+	for _, c := range []struct{ name, text string }{
+		{"clean-short-chat", benchCleanChat},
+		{"clean-long-paste", benchLongPaste()},
+		{"dense-dox", "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ExtractPII(c.text)
+			}
+		})
 	}
 }

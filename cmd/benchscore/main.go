@@ -1,0 +1,220 @@
+// Command benchscore measures the scoring hot path end to end and
+// writes BENCH_scoring.json: ns/doc, bytes/op, allocs/op and docs/sec
+// for tokenization, featurization, PII extraction and the streaming
+// ScoreStream path, next to the pre-optimisation baseline those numbers
+// are compared against.
+//
+// Run via scripts/bench.sh. The baseline figures were measured on this
+// machine at the pre-optimisation tree (commit 28507bb, the seed this
+// PR's speedup is claimed against) with the same workloads.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	harassrepro "harassrepro"
+	"harassrepro/internal/features"
+	"harassrepro/internal/tokenize"
+)
+
+const (
+	shortChat = "we need to mass-report his twitter and youtube, spread the word"
+	cleanChat = "anyone up for ranked tonight, patch notes are out, new map is wild"
+	denseDox  = "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+)
+
+// metrics is one measured workload.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerDoc    float64 `json:"ns_per_doc"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+}
+
+// entry pairs a workload's current measurement with its committed
+// pre-optimisation baseline (when one was measured).
+type entry struct {
+	Name      string   `json:"name"`
+	DocsPerOp int      `json:"docs_per_op"`
+	Baseline  *metrics `json:"baseline,omitempty"`
+	Current   metrics  `json:"current"`
+	Speedup   float64  `json:"speedup_vs_baseline,omitempty"`
+}
+
+type report struct {
+	Description    string  `json:"description"`
+	BaselineCommit string  `json:"baseline_commit"`
+	GoVersion      string  `json:"go_version"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Entries        []entry `json:"entries"`
+}
+
+// baselineMetrics fills the derived fields from raw ns/op numbers.
+func baselineMetrics(nsPerOp float64, bytesPerOp, allocsPerOp int64, docsPerOp int) *metrics {
+	m := finish(metrics{NsPerOp: nsPerOp, BytesPerOp: bytesPerOp, AllocsPerOp: allocsPerOp}, docsPerOp)
+	return &m
+}
+
+func finish(m metrics, docsPerOp int) metrics {
+	m.NsPerDoc = m.NsPerOp / float64(docsPerOp)
+	if m.NsPerDoc > 0 {
+		m.DocsPerSec = 1e9 / m.NsPerDoc
+	}
+	return m
+}
+
+// measure runs fn under the testing benchmark driver.
+func measure(name string, docsPerOp int, baseline *metrics, fn func(b *testing.B)) entry {
+	fmt.Fprintf(os.Stderr, "benchscore: measuring %s...\n", name)
+	r := testing.Benchmark(fn)
+	cur := finish(metrics{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, docsPerOp)
+	e := entry{Name: name, DocsPerOp: docsPerOp, Baseline: baseline, Current: cur}
+	if baseline != nil && cur.NsPerOp > 0 {
+		e.Speedup = baseline.NsPerOp / cur.NsPerOp
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scoring.json", "output file")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "benchscore: training quick-scale pipeline (one-time setup)...")
+	study, err := harassrepro.Run(harassrepro.QuickConfig(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+	dir, err := os.MkdirTemp("", "benchscore")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	if err := study.SaveModels(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+	det, err := harassrepro.LoadDetector(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+
+	docs := streamDocs(256)
+	hasher := features.NewHasher(features.HasherConfig{Buckets: 1 << 18, Bigrams: true})
+	toks := append([]string(nil), tokenize.BasicTokenize(shortChat)...)
+
+	rep := report{
+		Description:    "Scoring hot-path benchmarks: steady-state tokenize/featurize/pii plus the end-to-end streaming ScoreStream workload (256 mixed documents). Baselines were measured at the pre-optimisation tree with identical workloads on this machine; -1 marks baseline fields that were not recorded.",
+		BaselineCommit: "28507bb",
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Entries: []entry{
+			measure("tokenize/short-chat", 1, nil, func(b *testing.B) {
+				var bt tokenize.BasicTokenizer
+				bt.Tokenize(shortChat)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bt.Tokenize(shortChat)
+				}
+			}),
+			measure("featurize/short-chat", 1, nil, func(b *testing.B) {
+				f := hasher.NewFeaturizer()
+				f.Vectorize(toks)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Vectorize(toks)
+				}
+			}),
+			measure("pii/clean-chat", 1, nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					harassrepro.ExtractPII(cleanChat)
+				}
+			}),
+			// Baseline: BenchmarkExtractPII at 28507bb (91274 ns/op, 40
+			// allocs/op) — the dense dox pays for the regex families its
+			// gate admits either way.
+			measure("pii/dense-dox", 1, baselineMetrics(91274, 3112, 40, 1), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					harassrepro.ExtractPII(denseDox)
+				}
+			}),
+			// Baseline: BenchmarkScoreStreamSequential at 28507bb (only
+			// ns/op was recorded; -1 marks fields not measured then).
+			measure("score-sequential/256-docs", 256, baselineMetrics(12669616, -1, -1, 256), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, d := range docs {
+						_ = det.ScoreCTH(d.Text)
+						_ = det.ScoreDox(d.Text)
+					}
+				}
+			}),
+			// Baseline: BenchmarkScoreStream at 28507bb — the headline
+			// end-to-end number this PR's >=3x claim is made against.
+			measure("score-stream/256-docs", 256, baselineMetrics(14237979, 3751296, 84912, 256), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, sum, err := det.ScoreStream(context.Background(), docs, harassrepro.StreamOptions{Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sum.Succeeded != len(docs) {
+						b.Fatalf("summary = %+v", sum)
+					}
+				}
+			}),
+		},
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscore:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		line := fmt.Sprintf("%-28s %12.0f ns/op %8d B/op %6d allocs/op %14.0f docs/sec",
+			e.Name, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp, e.Current.DocsPerSec)
+		if e.Speedup > 0 {
+			line += fmt.Sprintf("   %.2fx vs baseline", e.Speedup)
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "benchscore: wrote %s\n", *out)
+}
+
+func streamDocs(n int) []harassrepro.StreamDocument {
+	texts := []string{
+		"we need to mass-report his twitter and youtube, spread the word",
+		"anyone up for ranked tonight, patch notes are out",
+		"DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188 / fb: jane.roe.42",
+		"the new season drops friday, here is the patch rundown everyone asked for",
+		"everyone flood her mentions until she deletes the channel",
+	}
+	docs := make([]harassrepro.StreamDocument, n)
+	for i := range docs {
+		docs[i] = harassrepro.StreamDocument{ID: fmt.Sprintf("b%04d", i), Text: texts[i%len(texts)]}
+	}
+	return docs
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"harassrepro/internal/annotate"
 	"harassrepro/internal/corpus"
@@ -109,6 +110,9 @@ type Detector struct {
 	cth    *model.LogReg
 	meta   detectorMeta
 	rng    *randx.Source
+	// scorers pools the per-goroutine scoring scratch (WordPiece
+	// session + featurizer) so steady-state scoring is allocation-free.
+	scorers sync.Pool
 }
 
 // LoadDetector reads a directory written by SaveModels. A corrupt,
@@ -148,54 +152,39 @@ func LoadDetector(dir string) (*Detector, error) {
 	if dox.Buckets() != meta.Buckets || cth.Buckets() != meta.Buckets {
 		return nil, fmt.Errorf("core: load detector: model buckets do not match metadata (%d)", meta.Buckets)
 	}
-	return &Detector{
+	d := &Detector{
 		tok:    tokenize.NewTokenizer(vocab),
 		hasher: features.NewHasher(features.HasherConfig{Buckets: meta.Buckets, Bigrams: true}),
 		dox:    dox,
 		cth:    cth,
 		meta:   meta,
 		rng:    randx.New(1).Split("detector"),
-	}, nil
-}
-
-// vectorize mirrors the pipeline's text-to-vector transform.
-// Span sampling on long documents draws from rng, so callers that need
-// concurrency or bit-reproducibility (the streaming path) pass their
-// own per-document source.
-func (d *Detector) vectorize(text string, maxLen int, rng *randx.Source) features.Vector {
-	toks := d.tok.Tokenize(text)
-	spans := tokenize.Spans(toks, maxLen, 2, tokenize.SpanRandomNoOverlap, rng)
-	if len(spans) == 1 {
-		return d.hasher.Vectorize(spans[0])
 	}
-	var merged []string
-	for _, s := range spans {
-		merged = append(merged, s...)
-	}
-	return d.hasher.Vectorize(merged)
+	d.initScorerPool()
+	return d, nil
 }
 
 // ScoreDox returns the doxing classifier's positive probability.
 // Not safe for concurrent use (it advances the detector's internal
 // span-sampling stream); use ScoreStream for concurrent scoring.
 func (d *Detector) ScoreDox(text string) float64 {
-	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen, d.rng))
+	return d.scoreWith(d.dox, text, d.meta.DoxTextLen, d.rng)
 }
 
 // ScoreCTH returns the call-to-harassment classifier's positive
 // probability. Not safe for concurrent use; see ScoreDox.
 func (d *Detector) ScoreCTH(text string) float64 {
-	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen, d.rng))
+	return d.scoreWith(d.cth, text, d.meta.CTHTextLen, d.rng)
 }
 
 // scoreDoxWith scores with an explicit span-sampling source.
 func (d *Detector) scoreDoxWith(text string, rng *randx.Source) float64 {
-	return d.dox.Score(d.vectorize(text, d.meta.DoxTextLen, rng))
+	return d.scoreWith(d.dox, text, d.meta.DoxTextLen, rng)
 }
 
 // scoreCTHWith scores with an explicit span-sampling source.
 func (d *Detector) scoreCTHWith(text string, rng *randx.Source) float64 {
-	return d.cth.Score(d.vectorize(text, d.meta.CTHTextLen, rng))
+	return d.scoreWith(d.cth, text, d.meta.CTHTextLen, rng)
 }
 
 // Score scores text for the given task.

@@ -70,8 +70,13 @@ var (
 func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc] {
 	// Per-document scoring randomness is derived from (seed, stage,
 	// index), never from the detector's shared stream: retries and
-	// scheduling cannot perturb it.
+	// scheduling cannot perturb it. The per-stage splits are hoisted out
+	// of the per-document closures and the per-document child stream is
+	// derived by value (SplitNVal), keeping the hot path allocation-free
+	// while producing the same child states as Split().SplitN().
 	base := randx.New(opts.Seed)
+	cthBase := base.Split("score-cth")
+	doxBase := base.Split("score-dox")
 	stages := []resilience.Stage[StreamDoc]{
 		{
 			Name:      "score-cth",
@@ -80,7 +85,8 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 				if sd.Text == "" {
 					return resilience.Permanent(fmt.Errorf("empty document text"))
 				}
-				sd.CTH = d.scoreCTHWith(sd.Text, base.Split("score-cth").SplitN("doc", index))
+				rng := cthBase.SplitNVal("doc", index)
+				sd.CTH = d.scoreCTHWith(sd.Text, &rng)
 				return nil
 			},
 		},
@@ -88,7 +94,8 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 			Name:      "score-dox",
 			Transient: true,
 			Fn: func(_ context.Context, index int, sd *StreamDoc) error {
-				sd.Dox = d.scoreDoxWith(sd.Text, base.Split("score-dox").SplitN("doc", index))
+				rng := doxBase.SplitNVal("doc", index)
+				sd.Dox = d.scoreDoxWith(sd.Text, &rng)
 				return nil
 			},
 		},

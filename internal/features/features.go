@@ -8,9 +8,8 @@
 package features
 
 import (
-	"hash/fnv"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Vector is a sparse feature vector: parallel index/value slices sorted by
@@ -86,33 +85,22 @@ func NewHasher(cfg HasherConfig) *Hasher {
 // Buckets returns the feature space size.
 func (h *Hasher) Buckets() uint32 { return h.cfg.Buckets }
 
-func (h *Hasher) bucketAndSign(feature string) (uint32, float64) {
-	hash := fnv.New64a()
-	hash.Write([]byte(feature))
-	sum := hash.Sum64()
-	// FNV-1a's high bits are biased for short inputs, so take the sign
-	// from the lowest bit and the bucket from the remaining bits.
-	bucket := uint32((sum >> 1) % uint64(h.cfg.Buckets))
-	sign := 1.0
-	if h.cfg.SignedHashing && sum&1 != 0 {
-		sign = -1
-	}
-	return bucket, sign
-}
-
 // Vectorize maps tokens to a sparse vector of hashed feature counts.
+// Unlike Featurizer.Vectorize, the returned vector owns fresh storage;
+// prefer a pooled Featurizer on scoring hot paths.
 func (h *Hasher) Vectorize(tokens []string) Vector {
 	counts := map[uint32]float64{}
-	add := func(feature string) {
-		bucket, sign := h.bucketAndSign(feature)
-		counts[bucket] += sign
-	}
 	for _, t := range tokens {
-		add("u\x00" + t)
+		bucket, sign := h.bucketSign(fnvAddString(unigramSeed, t))
+		counts[bucket] += sign
 	}
 	if h.cfg.Bigrams {
 		for i := 0; i+1 < len(tokens); i++ {
-			add("b\x00" + tokens[i] + "\x00" + tokens[i+1])
+			sum := fnvAddString(bigramSeed, tokens[i])
+			sum = fnvAddByte(sum, 0)
+			sum = fnvAddString(sum, tokens[i+1])
+			bucket, sign := h.bucketSign(sum)
+			counts[bucket] += sign
 		}
 	}
 	return fromMap(counts)
@@ -123,10 +111,9 @@ func fromMap(counts map[uint32]float64) Vector {
 	for i, v := range counts {
 		if v != 0 {
 			idx = append(idx, i)
-			_ = v
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	slices.Sort(idx)
 	vals := make([]float64, len(idx))
 	for i, ix := range idx {
 		vals[i] = counts[ix]

@@ -85,6 +85,39 @@ func TestExtractAdversarialShapes(t *testing.T) {
 	}
 }
 
+// FuzzExtractPrefilterEquivalence is the differential fuzz target for
+// the literal prefilter: on every input, the gated Extract must return
+// exactly what running the regexes unconditionally returns. Any
+// divergence means a gate is not a necessary condition for its regex
+// family — a soundness bug, not a tuning issue.
+func FuzzExtractPrefilterEquivalence(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"we need to mass-report his twitter and youtube",
+		"fb: some.person and ig: other_person",
+		"Address: 99 Cedar Lane, phone 555-867-5309, j.doe@example.org",
+		"4111 1111 1111 1111 ssn 219-09-9999",
+		"facebooK.com/kelvin 12 oak ſtreet",
+		"twtr: a yt: abc twitter.com/someuser",
+		"\xff\xfe\xc5\xbf\xe2\x84\xaa 123-45-6789",
+	} {
+		f.Add(s)
+	}
+	e := NewExtractor()
+	f.Fuzz(func(t *testing.T, s string) {
+		got := e.Extract(s)
+		want := extractDirect(s)
+		if len(got) != len(want) {
+			t.Fatalf("prefiltered Extract(%q) = %v, direct = %v", s, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("prefiltered Extract(%q) = %v, direct = %v", s, got, want)
+			}
+		}
+	})
+}
+
 // TestExtractLargeInput exercises a pathological large document.
 func TestExtractLargeInput(t *testing.T) {
 	e := NewExtractor()

@@ -114,17 +114,34 @@ func NewExtractor() *Extractor { return &Extractor{} }
 
 // Extract returns all PII matches in text, de-duplicated per (type,
 // normalised value), in deterministic order.
+//
+// One literal scan (see prefilter.go) decides which regex families can
+// possibly match; families whose gate literals are absent are skipped
+// entirely, so documents without PII cost a single linear pass and no
+// allocations. Output is identical to running every extractor
+// unconditionally (extractDirect, fuzz-verified).
 func (e *Extractor) Extract(text string) []Match {
+	facts := scan(text)
 	var out []Match
-	out = append(out, extractSimple(Address, reAddress, text, normaliseSpace)...)
-	out = append(out, extractCards(text)...)
-	out = append(out, extractSimple(Email, reEmail, text, strings.ToLower)...)
-	out = append(out, extractHandles(Facebook, reFacebookURL, reFacebookMention, text)...)
-	out = append(out, extractHandles(Instagram, reInstagramURL, reInstagramMention, text)...)
-	out = append(out, extractPhones(text)...)
-	out = append(out, extractSSNs(text)...)
-	out = append(out, extractHandles(Twitter, reTwitterURL, reTwitterMention, text)...)
-	out = append(out, extractHandles(YouTube, reYouTubeURL, reYouTubeMention, text)...)
+	for _, p := range plans {
+		if facts.admits(p) {
+			out = append(out, p.extract(text)...)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return dedupe(out)
+}
+
+// extractDirect runs every extraction plan unconditionally — the
+// prefilter-free reference path the differential fuzz target compares
+// Extract against.
+func extractDirect(text string) []Match {
+	var out []Match
+	for _, p := range plans {
+		out = append(out, p.extract(text)...)
+	}
 	return dedupe(out)
 }
 
@@ -188,9 +205,12 @@ func extractSSNs(text string) []Match {
 	return out
 }
 
+// cardPatterns is built once: the per-network patterns tried in order.
+var cardPatterns = []*regexp.Regexp{reCardVisa, reCardMastercard, reCardAmex, reCardDiscover}
+
 func extractCards(text string) []Match {
 	var out []Match
-	for _, re := range []*regexp.Regexp{reCardVisa, reCardMastercard, reCardAmex, reCardDiscover} {
+	for _, re := range cardPatterns {
 		for _, m := range re.FindAllString(text, -1) {
 			digits := digitsOnly(m)
 			if !luhnValid(digits) {
@@ -203,16 +223,18 @@ func extractCards(text string) []Match {
 }
 
 func extractHandles(t Type, urlRe, mentionRe *regexp.Regexp, text string) []Match {
-	var out []Match
+	out := appendHandles(nil, t, urlRe, text)
+	return appendHandles(out, t, mentionRe, text)
+}
+
+func appendHandles(out []Match, t Type, re *regexp.Regexp, text string) []Match {
 	stop := reservedPaths[t]
-	for _, re := range []*regexp.Regexp{urlRe, mentionRe} {
-		for _, sub := range re.FindAllStringSubmatch(text, -1) {
-			handle := strings.ToLower(strings.TrimPrefix(sub[1], "@"))
-			if handle == "" || stop[handle] {
-				continue
-			}
-			out = append(out, Match{Type: t, Value: handle})
+	for _, sub := range re.FindAllStringSubmatch(text, -1) {
+		handle := strings.ToLower(strings.TrimPrefix(sub[1], "@"))
+		if handle == "" || stop[handle] {
+			continue
 		}
+		out = append(out, Match{Type: t, Value: handle})
 	}
 	return out
 }

@@ -9,10 +9,26 @@
 package randx
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
 )
+
+// FNV-1a, inlined so that Split/SplitN on scoring hot paths do not
+// allocate a hash.Hash64 per call. The constants and byte order match
+// hash/fnv exactly: child streams derived before and after the inlining
+// are bit-identical.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
 
 // Source is a deterministic pseudo-random source based on the SplitMix64
 // generator. It is intentionally minimal: the reproduction needs speed and
@@ -33,23 +49,30 @@ func New(seed uint64) *Source {
 // Splitting does not advance s, so the child stream depends only on the
 // parent seed and the label.
 func (s *Source) Split(label string) *Source {
-	h := fnv.New64a()
-	h.Write([]byte(label))
-	return &Source{state: s.state ^ (h.Sum64() | 1)}
+	return &Source{state: s.splitState(label)}
 }
 
 // SplitN derives an independent child source keyed by label and an index,
 // for per-item streams (for example one stream per generated document).
 func (s *Source) SplitN(label string, n int) *Source {
-	h := fnv.New64a()
-	h.Write([]byte(label))
-	var buf [8]byte
+	src := s.SplitNVal(label, n)
+	return &src
+}
+
+// SplitNVal is SplitN returning the child by value, for hot paths that
+// derive one short-lived stream per document and must not allocate.
+func (s *Source) SplitNVal(label string, n int) Source {
+	h := fnvString(fnvOffset64, label)
 	v := uint64(n)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
 	}
-	h.Write(buf[:])
-	return &Source{state: s.state ^ (h.Sum64() | 1)}
+	return Source{state: s.state ^ (h | 1)}
+}
+
+func (s *Source) splitState(label string) uint64 {
+	return s.state ^ (fnvString(fnvOffset64, label) | 1)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation changes allocation behaviour —
+// allocation-regression tests consult it to skip themselves.
+const RaceEnabled = true

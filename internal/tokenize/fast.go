@@ -1,0 +1,228 @@
+package tokenize
+
+// The zero-allocation scoring fast path. The legacy entry points
+// (BasicTokenize, Tokenizer.Tokenize) pay one full strings.ToLower copy
+// plus a strings.Builder per word and a fresh []string per document —
+// acceptable for training, ruinous for a scoring loop that exists to
+// process hundreds of millions of documents (Table 1). BasicTokenizer
+// and Session keep per-goroutine scratch buffers so that steady-state
+// tokenization performs no heap allocations at all: the input is
+// lower-cased and split in a single pass into a reusable byte arena,
+// and tokens are handed out as views into that arena (basic path) or as
+// interned vocabulary strings (WordPiece path).
+//
+// Equivalence with the legacy implementations is load-bearing and
+// covered by golden tests: for every input, BasicTokenizer.Tokenize
+// yields exactly the tokens of legacy BasicTokenize, and
+// Session.Tokenize exactly the pieces of legacy Tokenizer.Tokenize.
+
+import (
+	"unicode"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// BasicTokenizer is a reusable basic tokenizer with scratch buffers.
+// It performs the same lower-casing and punctuation splitting as
+// BasicTokenize in a single pass over the input, without the ToLower
+// copy or per-word Builder churn.
+//
+// Not safe for concurrent use. The returned slice and its strings alias
+// the tokenizer's internal arena and are only valid until the next
+// Tokenize call; callers that retain tokens must copy them.
+type BasicTokenizer struct {
+	buf   []byte // lower-cased bytes of the current document
+	spans []span // token boundaries within buf
+	toks  []string
+}
+
+type span struct{ start, end int32 }
+
+// Character classes for the ASCII fast path.
+const (
+	classWord byte = iota
+	classSpace
+	classPunct
+)
+
+// asciiClass caches the word/space/punctuation decision for every ASCII
+// byte. It is built from the same unicode predicates the rune path
+// uses, so the two paths cannot disagree.
+var asciiClass [128]byte
+
+func init() {
+	for c := range asciiClass {
+		r := unicode.ToLower(rune(c))
+		switch {
+		case unicode.IsSpace(r):
+			asciiClass[c] = classSpace
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			asciiClass[c] = classPunct
+		default:
+			asciiClass[c] = classWord
+		}
+	}
+}
+
+// Tokenize lower-cases text and splits it into words on whitespace and
+// punctuation, with punctuation marks as their own tokens — identical
+// output to BasicTokenize.
+func (bt *BasicTokenizer) Tokenize(text string) []string {
+	bt.buf = bt.buf[:0]
+	bt.spans = bt.spans[:0]
+	wordStart := int32(-1)
+	flush := func() {
+		if wordStart >= 0 {
+			bt.spans = append(bt.spans, span{wordStart, int32(len(bt.buf))})
+			wordStart = -1
+		}
+	}
+	// ASCII bytes (the overwhelming majority of chat text) take a
+	// table-driven byte path; everything else decodes one rune at a
+	// time. DecodeRuneInString yields one RuneError per invalid byte —
+	// exactly what the legacy path sees after strings.ToLower has
+	// rewritten invalid bytes to U+FFFD. Classification happens on the
+	// lowered rune, as in the legacy code.
+	for i := 0; i < len(text); {
+		c := text[i]
+		if c < utf8.RuneSelf {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			switch asciiClass[c] {
+			case classSpace:
+				flush()
+			case classPunct:
+				flush()
+				start := int32(len(bt.buf))
+				bt.buf = append(bt.buf, c)
+				bt.spans = append(bt.spans, span{start, int32(len(bt.buf))})
+			default:
+				if wordStart < 0 {
+					wordStart = int32(len(bt.buf))
+				}
+				bt.buf = append(bt.buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(text[i:])
+		i += size
+		r = unicode.ToLower(r)
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			start := int32(len(bt.buf))
+			bt.buf = utf8.AppendRune(bt.buf, r)
+			bt.spans = append(bt.spans, span{start, int32(len(bt.buf))})
+		default:
+			if wordStart < 0 {
+				wordStart = int32(len(bt.buf))
+			}
+			bt.buf = utf8.AppendRune(bt.buf, r)
+		}
+	}
+	flush()
+
+	// Materialise token views only after the arena has reached its final
+	// size, so every view points into the same backing array.
+	bt.toks = bt.toks[:0]
+	for _, sp := range bt.spans {
+		bt.toks = append(bt.toks, viewString(bt.buf[sp.start:sp.end]))
+	}
+	return bt.toks
+}
+
+// viewString returns a string sharing b's storage. The caller owns the
+// aliasing contract: the bytes must not be mutated while the string is
+// live.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// Session carries the per-goroutine scratch state for WordPiece
+// segmentation with a shared Tokenizer. Steady-state Tokenize calls
+// allocate nothing: word splitting reuses the embedded BasicTokenizer
+// arena, vocabulary lookups use byte-slice keys, and emitted pieces are
+// the vocabulary's interned strings (stable across calls).
+//
+// A Session is not safe for concurrent use; the returned token slice is
+// reused by the next Tokenize call, but its piece strings are stable.
+type Session struct {
+	t      *Tokenizer
+	basic  BasicTokenizer
+	out    []string
+	bounds []int32 // rune start offsets within the current word
+	key    []byte  // lookup key scratch for continuation pieces
+}
+
+// NewSession returns a Session bound to the tokenizer's vocabulary.
+func (t *Tokenizer) NewSession() *Session {
+	return &Session{t: t, key: append(make([]byte, 0, 64), ContinuationPrefix...)}
+}
+
+// Tokenize segments text into word pieces — identical output to
+// Tokenizer.Tokenize. The returned slice is valid until the next call;
+// its elements (interned vocabulary pieces or UnknownToken) are stable.
+func (s *Session) Tokenize(text string) []string {
+	s.out = s.out[:0]
+	for _, word := range s.basic.Tokenize(text) {
+		s.appendWordPieces(word)
+	}
+	return s.out
+}
+
+// appendWordPieces segments one lower-cased word with greedy
+// longest-match-first, mirroring Tokenizer.tokenizeWord on byte spans
+// at rune boundaries instead of a fresh []rune.
+func (s *Session) appendWordPieces(word string) {
+	s.bounds = s.bounds[:0]
+	for i := range word {
+		s.bounds = append(s.bounds, int32(i))
+	}
+	s.bounds = append(s.bounds, int32(len(word)))
+	nRunes := len(s.bounds) - 1
+	if nRunes > s.t.maxWordChars {
+		s.out = append(s.out, UnknownToken)
+		return
+	}
+	outStart := len(s.out)
+	start := 0
+	for start < nRunes {
+		matched := false
+		// No candidate longer than the longest vocabulary piece can
+		// match, so the greedy search starts there instead of at the
+		// full word length (legacy behaviour tried — and failed — every
+		// longer candidate first).
+		maxEnd := start + s.t.vocab.maxPieceRunes
+		if maxEnd > nRunes {
+			maxEnd = nRunes
+		}
+		for end := maxEnd; end > start; end-- {
+			seg := word[s.bounds[start]:s.bounds[end]]
+			var piece string
+			var ok bool
+			if start > 0 {
+				s.key = append(s.key[:len(ContinuationPrefix)], seg...)
+				piece, ok = s.t.vocab.canon(s.key)
+			} else {
+				piece, ok = s.t.vocab.canonString(seg)
+			}
+			if ok {
+				s.out = append(s.out, piece)
+				start = end
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			s.out = append(s.out[:outStart], UnknownToken)
+			return
+		}
+	}
+}

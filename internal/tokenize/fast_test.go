@@ -1,0 +1,250 @@
+package tokenize
+
+// Golden equivalence and allocation-regression tests for the
+// zero-allocation fast path. referenceBasicTokenize and
+// referenceWordPiece are verbatim copies of the pre-optimisation
+// implementations; the fast path must match them byte for byte on every
+// input, including adversarial Unicode.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"harassrepro/internal/testutil"
+)
+
+// referenceBasicTokenize is the legacy BasicTokenize implementation
+// (full ToLower copy + per-word Builder), kept as the equivalence oracle.
+func referenceBasicTokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			tokens = append(tokens, string(r))
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// referenceWordPiece is the legacy Tokenizer.Tokenize implementation
+// ([]rune conversion + string concatenation per candidate piece).
+func referenceWordPiece(t *Tokenizer, text string) []string {
+	tokenizeWord := func(word string) []string {
+		runes := []rune(word)
+		if len(runes) > t.maxWordChars {
+			return []string{UnknownToken}
+		}
+		var pieces []string
+		start := 0
+		for start < len(runes) {
+			end := len(runes)
+			var cur string
+			ok := false
+			for end > start {
+				piece := string(runes[start:end])
+				if start > 0 {
+					piece = ContinuationPrefix + piece
+				}
+				if t.vocab.Contains(piece) {
+					cur = piece
+					ok = true
+					break
+				}
+				end--
+			}
+			if !ok {
+				return []string{UnknownToken}
+			}
+			pieces = append(pieces, cur)
+			start = end
+		}
+		return pieces
+	}
+	var out []string
+	for _, word := range referenceBasicTokenize(text) {
+		out = append(out, tokenizeWord(word)...)
+	}
+	return out
+}
+
+// goldenTexts exercises ASCII prose, punctuation runs, multi-byte
+// runes, case-fold specials, invalid UTF-8 and degenerate shapes.
+var goldenTexts = []string{
+	"",
+	"   \t\n  ",
+	"Hello, World!",
+	"we need to mass-report his twitter and youtube, spread the word",
+	"DOX: Jane Roe / Address: 99 Cedar Lane, Riverton, TX, 75001 / Phone: (212) 555-0188 / fb: jane.roe.42",
+	"MiXeD CaSe WITH Ünïcode and 日本語 mixed in",
+	"emoji \U0001F600 and symbols ©®™ £100 ±5",
+	"İstanbul STRASSE ﬂuent ſtreet Kelvin", // case-fold special points
+	"a\xffb\xfe invalid \xc3(",             // invalid UTF-8 bytes
+	strings.Repeat("long-word-", 40) + strings.Repeat("x", 200),
+	"don't stop: e-mail @user #tag 100%",
+	"ßẞ sharp-s pair",
+}
+
+func TestBasicTokenizerMatchesReference(t *testing.T) {
+	var bt BasicTokenizer
+	for _, text := range goldenTexts {
+		want := referenceBasicTokenize(text)
+		got := bt.Tokenize(text)
+		if len(got) != len(want) {
+			t.Fatalf("Tokenize(%q): %d tokens, want %d\ngot  %q\nwant %q", text, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", text, i, got[i], want[i])
+			}
+		}
+		// The package-level wrapper must agree too.
+		if wrap := BasicTokenize(text); !equalTokens(wrap, want) {
+			t.Errorf("BasicTokenize(%q) = %q, want %q", text, wrap, want)
+		}
+	}
+}
+
+func TestBasicTokenizerMatchesReferenceQuick(t *testing.T) {
+	var bt BasicTokenizer
+	err := quick.Check(func(s string) bool {
+		return equalTokens(bt.Tokenize(s), referenceBasicTokenize(s))
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionMatchesReference(t *testing.T) {
+	corpus := []string{
+		"mass reporting of harassment and doxing on image boards",
+		"the harasser keeps harassing and reporting",
+		"report the stream, raid the channel, flood her mentions",
+	}
+	tok := NewTokenizer(Train(corpus, TrainerConfig{VocabSize: 300}))
+	sess := tok.NewSession()
+	for _, text := range append(goldenTexts, corpus...) {
+		want := referenceWordPiece(tok, text)
+		got := sess.Tokenize(text)
+		if !equalTokens(got, want) {
+			t.Errorf("Session.Tokenize(%q) = %q, want %q", text, got, want)
+		}
+		if wrap := tok.Tokenize(text); !equalTokens(wrap, want) {
+			t.Errorf("Tokenizer.Tokenize(%q) = %q, want %q", text, wrap, want)
+		}
+	}
+}
+
+func TestSessionMatchesReferenceQuick(t *testing.T) {
+	tok := NewTokenizer(NewVocab([]string{
+		"a", "b", "c", "ab", "abc", "##a", "##b", "##c", "##bc", "x", "##x",
+	}))
+	sess := tok.NewSession()
+	err := quick.Check(func(s string) bool {
+		return equalTokens(sess.Tokenize(s), referenceWordPiece(tok, s))
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionPiecesStableAcrossCalls verifies the documented contract:
+// the token slice is reused, but emitted piece strings stay valid.
+func TestSessionPiecesStableAcrossCalls(t *testing.T) {
+	tok := NewTokenizer(NewVocab([]string{"dox", "##ing", "raid"}))
+	sess := tok.NewSession()
+	first := append([]string(nil), sess.Tokenize("doxing")...)
+	sess.Tokenize("raid raid raid")
+	if !reflect.DeepEqual(first, []string{"dox", "##ing"}) {
+		t.Fatalf("pieces clobbered by next call: %q", first)
+	}
+}
+
+// TestBasicTokenizerZeroAllocs is the allocation-regression gate for
+// the basic fast path: steady-state tokenization must not allocate.
+func TestBasicTokenizerZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	var bt BasicTokenizer
+	text := "we need to Mass-Report his twitter AND youtube, spread the word!"
+	bt.Tokenize(text) // warm the arena
+	if n := testing.AllocsPerRun(100, func() {
+		bt.Tokenize(text)
+	}); n != 0 {
+		t.Errorf("BasicTokenizer.Tokenize allocates %v per op, want 0", n)
+	}
+}
+
+// TestSessionZeroAllocs is the allocation-regression gate for the
+// WordPiece fast path.
+func TestSessionZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	corpus := []string{"mass reporting of harassment and doxing on image boards"}
+	tok := NewTokenizer(Train(corpus, TrainerConfig{VocabSize: 200}))
+	sess := tok.NewSession()
+	text := "mass reporting of harassment and doxing on image boards"
+	sess.Tokenize(text) // warm the scratch
+	if n := testing.AllocsPerRun(100, func() {
+		sess.Tokenize(text)
+	}); n != 0 {
+		t.Errorf("Session.Tokenize allocates %v per op, want 0", n)
+	}
+}
+
+func equalTokens(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkBasicTokenizeLegacyWrapper(b *testing.B) {
+	b.ReportAllocs()
+	text := "we need to mass-report his twitter and youtube, spread the word"
+	for i := 0; i < b.N; i++ {
+		BasicTokenize(text)
+	}
+}
+
+func BenchmarkBasicTokenizerReuse(b *testing.B) {
+	b.ReportAllocs()
+	var bt BasicTokenizer
+	text := "we need to mass-report his twitter and youtube, spread the word"
+	for i := 0; i < b.N; i++ {
+		bt.Tokenize(text)
+	}
+}
+
+func BenchmarkSessionTokenize(b *testing.B) {
+	corpus := []string{"mass reporting of harassment and doxing on image boards"}
+	tok := NewTokenizer(Train(corpus, TrainerConfig{VocabSize: 200}))
+	sess := tok.NewSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Tokenize("mass reporting of harassment and doxing on image boards")
+	}
+}

@@ -9,7 +9,7 @@ package tokenize
 import (
 	"sort"
 	"strings"
-	"unicode"
+	"unicode/utf8"
 
 	"harassrepro/internal/randx"
 )
@@ -25,50 +25,71 @@ const ContinuationPrefix = "##"
 // BasicTokenize lower-cases text and splits it into words on whitespace
 // and punctuation; punctuation marks become their own tokens
 // ("punctuation splitting" in §5.2).
+//
+// This is the convenience wrapper over BasicTokenizer: the returned
+// tokens are independent of any reusable scratch. Scoring hot paths
+// should hold a BasicTokenizer (or a Session) instead.
 func BasicTokenize(text string) []string {
-	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
-			b.Reset()
-		}
+	var bt BasicTokenizer
+	toks := bt.Tokenize(text)
+	if len(toks) == 0 {
+		return nil
 	}
-	for _, r := range strings.ToLower(text) {
-		switch {
-		case unicode.IsSpace(r):
-			flush()
-		case unicode.IsPunct(r) || unicode.IsSymbol(r):
-			flush()
-			tokens = append(tokens, string(r))
-		default:
-			b.WriteRune(r)
-		}
-	}
-	flush()
-	return tokens
+	// bt is single-use, so returning its arena-backed views is safe: the
+	// arena is never overwritten and stays live for as long as the tokens.
+	return toks
 }
 
-// Vocab is a trained WordPiece vocabulary.
+// Vocab is a trained WordPiece vocabulary. Pieces are stored as their
+// own canonical strings so lookups can return an interned piece that is
+// stable across calls — the property the zero-allocation Session path
+// relies on to hand out tokens without copying.
 type Vocab struct {
-	pieces map[string]bool
+	pieces map[string]string
+	// maxPieceRunes bounds the greedy longest-match search: no lookup
+	// key longer than the longest stored piece can succeed, so the
+	// segmenter never needs to try candidates beyond this length.
+	maxPieceRunes int
 }
 
 // NewVocab builds a Vocab directly from a list of pieces. Continuation
 // pieces must carry the "##" prefix.
 func NewVocab(pieces []string) *Vocab {
-	m := make(map[string]bool, len(pieces))
+	m := make(map[string]string, len(pieces))
+	v := &Vocab{pieces: m}
 	for _, p := range pieces {
-		m[p] = true
+		m[p] = p
+		if n := utf8.RuneCountInString(p); n > v.maxPieceRunes {
+			v.maxPieceRunes = n
+		}
 	}
-	return &Vocab{pieces: m}
+	return v
 }
 
 // Size returns the number of pieces in the vocabulary.
 func (v *Vocab) Size() int { return len(v.pieces) }
 
 // Contains reports whether piece is in the vocabulary.
-func (v *Vocab) Contains(piece string) bool { return v.pieces[piece] }
+func (v *Vocab) Contains(piece string) bool {
+	_, ok := v.pieces[piece]
+	return ok
+}
+
+// canon returns the interned copy of piece, looked up by a byte-slice
+// key. The string(key) conversion is recognised by the compiler as a
+// map-access key and does not allocate.
+func (v *Vocab) canon(key []byte) (string, bool) {
+	p, ok := v.pieces[string(key)]
+	return p, ok
+}
+
+// canonString is canon for keys already available as (possibly
+// scratch-backed) strings; the returned piece is the stable interned
+// copy, never the argument.
+func (v *Vocab) canonString(key string) (string, bool) {
+	p, ok := v.pieces[key]
+	return p, ok
+}
 
 // Pieces returns the vocabulary contents in sorted order.
 func (v *Vocab) Pieces() []string {
@@ -240,44 +261,18 @@ func (t *Tokenizer) Vocab() *Vocab { return t.vocab }
 
 // Tokenize segments text into word pieces. Words that cannot be fully
 // segmented become a single UnknownToken.
+//
+// This is the convenience wrapper over Session; scoring hot paths
+// should hold a Session per goroutine instead.
 func (t *Tokenizer) Tokenize(text string) []string {
-	var out []string
-	for _, word := range BasicTokenize(text) {
-		out = append(out, t.tokenizeWord(word)...)
+	s := t.NewSession()
+	toks := s.Tokenize(text)
+	if len(toks) == 0 {
+		return nil
 	}
-	return out
-}
-
-func (t *Tokenizer) tokenizeWord(word string) []string {
-	runes := []rune(word)
-	if len(runes) > t.maxWordChars {
-		return []string{UnknownToken}
-	}
-	var pieces []string
-	start := 0
-	for start < len(runes) {
-		end := len(runes)
-		var cur string
-		ok := false
-		for end > start {
-			piece := string(runes[start:end])
-			if start > 0 {
-				piece = ContinuationPrefix + piece
-			}
-			if t.vocab.Contains(piece) {
-				cur = piece
-				ok = true
-				break
-			}
-			end--
-		}
-		if !ok {
-			return []string{UnknownToken}
-		}
-		pieces = append(pieces, cur)
-		start = end
-	}
-	return pieces
+	// The session is single-use, so its output slice can be returned
+	// directly; the piece strings are interned vocabulary entries.
+	return toks
 }
 
 // SpanStrategy selects how documents longer than the model's maximum

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Scoring hot-path benchmark harness: trains the quick-scale pipeline
+# once, measures steady-state tokenize/featurize/pii plus the
+# end-to-end streaming ScoreStream workload, and writes
+# BENCH_scoring.json (ns/doc, B/op, allocs/op, docs/sec, speedup vs the
+# committed pre-optimisation baseline).
+#
+# Usage: scripts/bench.sh [-out FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchscore "$@"

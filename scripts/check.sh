@@ -26,4 +26,18 @@ fi
 echo "== go test -race ./internal/resilience/... ./internal/core/..."
 go test -race ./internal/resilience/... ./internal/core/...
 
+# Allocation-regression gates: the scoring hot path (tokenize,
+# featurize, PII clean path, pooled detector scoring) must stay
+# allocation-free. These run under the race detector above too, but the
+# race detector changes the allocator, so assert them in a plain run.
+echo "== alloc-regression tests"
+go test -run 'Allocs' ./internal/tokenize/ ./internal/features/ ./internal/pii/ ./internal/core/
+
+if [[ $fast -eq 0 ]]; then
+  # Benchmark smoke: every benchmark must still run (one iteration, no
+  # timing claims) so bench rot is caught here, not at release time.
+  echo "== benchmark smoke (-benchtime=1x)"
+  go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+fi
+
 echo "OK"
