@@ -12,9 +12,17 @@
 // pipeline over generated corpora (tens of seconds); the taxonomy and
 // seed-query columns need no training.
 //
+// With -metrics, a JSON metrics snapshot (per-stage attempt/retry
+// counters, latency histograms, scratch-pool and PII-prefilter
+// instruments) is printed to stderr after the summary; -metrics-addr
+// additionally serves the live registry at /metrics (Prometheus text
+// format) and the net/http/pprof profiling endpoints for the duration
+// of the run. -max-doc-bytes rejects oversized lines into the
+// dead-letter summary instead of scoring them.
+//
 // Usage:
 //
-//	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N]
+//	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N] [-metrics] [-metrics-addr :9090] [-max-doc-bytes N]
 package main
 
 import (
@@ -26,6 +34,9 @@ import (
 	"strings"
 
 	"harassrepro"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/obs/obshttp"
+	"harassrepro/internal/pii"
 	"harassrepro/internal/resilience"
 )
 
@@ -55,13 +66,29 @@ func main() {
 	}()
 
 	var (
-		seed      = flag.Uint64("seed", 1, "training seed")
-		rulesOnly = flag.Bool("rules-only", false, "skip classifier training; taxonomy and query only")
-		models    = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
-		explain   = flag.Int("explain", 0, "with -models: print the top-N n-grams driving each CTH score")
-		workers   = flag.Int("workers", 0, "streaming worker pool size (0 = GOMAXPROCS)")
+		seed        = flag.Uint64("seed", 1, "training seed")
+		rulesOnly   = flag.Bool("rules-only", false, "skip classifier training; taxonomy and query only")
+		models      = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
+		explain     = flag.Int("explain", 0, "with -models: print the top-N n-grams driving each CTH score")
+		workers     = flag.Int("workers", 0, "streaming worker pool size (0 = GOMAXPROCS)")
+		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		maxDocBytes = flag.Int("max-doc-bytes", 0, "dead-letter lines longer than this many bytes (0 = no limit)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		ln, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail("metrics server: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	type scorer interface {
 		ScoreCTH(string) float64
@@ -99,7 +126,23 @@ func main() {
 	if det != nil {
 		scoreMu = make(chMutex, 1)
 	}
+	ext := pii.NewExtractor()
+	if reg != nil {
+		ext.SetMetrics(reg)
+	}
 	var stages []resilience.Stage[row]
+	if *maxDocBytes > 0 {
+		limit := *maxDocBytes
+		stages = append(stages, resilience.Stage[row]{
+			Name: "validate",
+			Fn: func(_ context.Context, _ int, r *row) error {
+				if len(r.Text) > limit {
+					return resilience.Permanent(fmt.Errorf("document is %d bytes, limit %d", len(r.Text), limit))
+				}
+				return nil
+			},
+		})
+	}
 	if sc != nil {
 		stages = append(stages, resilience.Stage[row]{
 			Name:      "score",
@@ -124,7 +167,11 @@ func main() {
 		Fn: func(_ context.Context, _ int, r *row) error {
 			r.SeedQuery = harassrepro.MatchesSeedQuery(r.Text)
 			r.Attacks = harassrepro.AttackParents(r.Text)
-			r.PII = harassrepro.PIITypes(r.Text)
+			var types []string
+			for _, t := range ext.Types(r.Text) {
+				types = append(types, string(t))
+			}
+			r.PII = types
 			return nil
 		},
 	})
@@ -138,6 +185,7 @@ func main() {
 			}
 			return r.Text
 		},
+		Metrics: reg,
 	}, stages...)
 
 	in := make(chan row)
@@ -188,6 +236,12 @@ func main() {
 	fmt.Fprintln(os.Stderr, sum)
 	for _, dl := range sum.DeadLetters {
 		fmt.Fprintf(os.Stderr, "  dead-letter %s\n", dl)
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "metrics snapshot:")
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			fail("writing metrics: %v", err)
+		}
 	}
 	if err := <-scanErr; err != nil {
 		fail("reading stdin: %v", err)

@@ -1,0 +1,120 @@
+package main
+
+// End-to-end acceptance test: build the real binary, stream lines
+// through it with -metrics, and reconcile the JSON metrics snapshot on
+// stderr against the run summary — processed must equal ok + degraded +
+// dead-lettered, and the per-stage counters must match the input.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"harassrepro/internal/obs"
+)
+
+var summaryRe = regexp.MustCompile(`processed=(\d+) succeeded=(\d+) degraded=(\d+) quarantined=(\d+)`)
+
+func TestMetricsSnapshotReconcilesWithSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "cthdetect")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cthdetect: %v\n%s", err, out)
+	}
+
+	// 6 well-formed lines plus one oversized line that -max-doc-bytes
+	// must dead-letter in the validate stage.
+	lines := []string{
+		"we should mass report his channel",
+		"dropping her address 99 cedar lane and email jane.roe@example.com",
+		"anyone up for ranked tonight",
+		"post his info everywhere, make him regret it",
+		"find her on twitter: janeroe and instagram: jane.roe",
+		"meet at the usual place",
+		strings.Repeat("a", 300),
+	}
+	const wantDead = 1
+	wantProcessed := len(lines)
+
+	cmd := exec.Command(bin, "-rules-only", "-metrics", "-max-doc-bytes", "128")
+	cmd.Stdin = strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("cthdetect failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// Parse the summary line.
+	m := summaryRe.FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no summary line in stderr:\n%s", stderr.String())
+	}
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	processed, succeeded, degraded, quarantined := atoi(m[1]), atoi(m[2]), atoi(m[3]), atoi(m[4])
+	if processed != wantProcessed || quarantined != wantDead {
+		t.Fatalf("summary processed=%d quarantined=%d, want %d and %d\nstderr:\n%s",
+			processed, quarantined, wantProcessed, wantDead, stderr.String())
+	}
+
+	// Parse the JSON snapshot after the marker.
+	_, rest, ok := strings.Cut(stderr.String(), "metrics snapshot:\n")
+	if !ok {
+		t.Fatalf("no metrics snapshot marker in stderr:\n%s", stderr.String())
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(rest), &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v\n%s", err, rest)
+	}
+
+	cv := func(name string, labels ...obs.Label) int {
+		return int(snap.CounterValue(name, labels...))
+	}
+	// The acceptance identity: processed = ok + degraded + dead-lettered.
+	ok_, deg, quar := cv("pipeline_items_total", obs.L("status", "ok")),
+		cv("pipeline_items_total", obs.L("status", "degraded")),
+		cv("pipeline_items_total", obs.L("status", "quarantined"))
+	if ok_+deg+quar != processed {
+		t.Errorf("items_total ok(%d)+degraded(%d)+quarantined(%d) != processed %d", ok_, deg, quar, processed)
+	}
+	if quar != quarantined || deg != degraded || ok_ != succeeded-degraded {
+		t.Errorf("items_total %d/%d/%d disagrees with summary %d/%d/%d",
+			ok_, deg, quar, succeeded-degraded, degraded, quarantined)
+	}
+	// Every line enters validate; only survivors reach annotate.
+	for _, c := range []struct {
+		name, stage string
+		want        int
+	}{
+		{"pipeline_stage_attempts_total", "validate", wantProcessed},
+		{"pipeline_stage_failures_total", "validate", wantDead},
+		{"pipeline_stage_attempts_total", "annotate", wantProcessed - wantDead},
+		{"pipeline_stage_failures_total", "annotate", 0},
+	} {
+		if got := cv(c.name, obs.L("stage", c.stage)); got != c.want {
+			t.Errorf("%s{stage=%q} = %d, want %d", c.name, c.stage, got, c.want)
+		}
+	}
+	// The PII extractor scanned exactly the annotated lines, and the
+	// corpus's address/email/twitter families matched.
+	if got := cv("pii_docs_scanned_total"); got != wantProcessed-wantDead {
+		t.Errorf("pii_docs_scanned_total = %d, want %d", got, wantProcessed-wantDead)
+	}
+	for _, family := range []string{"address", "email", "twitter"} {
+		if cv("pii_family_matches_total", obs.L("family", family)) == 0 {
+			t.Errorf("pii_family_matches_total{family=%q} = 0, want > 0", family)
+		}
+	}
+	// Stdout reports the quarantined line.
+	if !strings.Contains(stdout.String(), "QUARANTINED (validate") {
+		t.Errorf("stdout lacks the quarantine report:\n%s", stdout.String())
+	}
+}

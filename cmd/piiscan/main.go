@@ -8,10 +8,16 @@
 // quarantined and counted in the final
 // processed/succeeded/quarantined summary instead of aborting the run.
 //
+// With -metrics, a JSON metrics snapshot (PII prefilter pass/reject
+// counts, per-family regex activations, and — in stream mode — the
+// runner's per-stage counters) is printed to stderr after the run;
+// -metrics-addr serves the live registry at /metrics plus the
+// net/http/pprof endpoints while the scan runs.
+//
 // Usage:
 //
-//	piiscan [-json] < document.txt
-//	piiscan -stream [-json] [-workers N] < documents.txt
+//	piiscan [-json] [-metrics] < document.txt
+//	piiscan -stream [-json] [-workers N] [-metrics] [-metrics-addr :9090] < documents.txt
 package main
 
 import (
@@ -25,6 +31,11 @@ import (
 	"strings"
 
 	"harassrepro"
+	"harassrepro/internal/gender"
+	"harassrepro/internal/harm"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/obs/obshttp"
+	"harassrepro/internal/pii"
 	"harassrepro/internal/resilience"
 )
 
@@ -44,14 +55,31 @@ func main() {
 	}()
 
 	var (
-		jsonOut = flag.Bool("json", false, "emit JSON instead of text")
-		stream  = flag.Bool("stream", false, "treat each stdin line as one document (fault-tolerant streaming)")
-		workers = flag.Int("workers", 0, "with -stream: worker pool size (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit JSON instead of text")
+		stream      = flag.Bool("stream", false, "treat each stdin line as one document (fault-tolerant streaming)")
+		workers     = flag.Int("workers", 0, "with -stream: worker pool size (0 = GOMAXPROCS)")
+		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
+	var reg *obs.Registry
+	if *metrics || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		extractor.SetMetrics(reg)
+	}
+	if *metricsAddr != "" {
+		ln, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail("metrics server: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	if *stream {
-		runStream(*jsonOut, *workers)
+		runStream(*jsonOut, *workers, reg)
+		dumpMetrics(*metrics, reg)
 		return
 	}
 
@@ -60,6 +88,19 @@ func main() {
 		fail("reading stdin: %v", err)
 	}
 	report(string(data), *jsonOut)
+	dumpMetrics(*metrics, reg)
+}
+
+// dumpMetrics prints the final snapshot to stderr behind the marker the
+// tests parse for.
+func dumpMetrics(enabled bool, reg *obs.Registry) {
+	if !enabled {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "metrics snapshot:")
+	if err := reg.WriteJSON(os.Stderr); err != nil {
+		fail("writing metrics: %v", err)
+	}
 }
 
 // scan is one document's extracted profile.
@@ -70,10 +111,31 @@ type scan struct {
 	Gender string                 `json:"likely_target_gender"`
 }
 
+// extractor is the process-wide PII extractor; -metrics attaches a
+// registry to it before any document is scanned.
+var extractor = pii.NewExtractor()
+
 func analyze(s *scan) {
-	s.PII = harassrepro.ExtractPII(s.Text)
-	s.Risks = harassrepro.HarmRisks(s.Text)
-	s.Gender = harassrepro.InferTargetGender(s.Text)
+	matches := extractor.Extract(s.Text)
+	var types []pii.Type
+	seen := map[pii.Type]bool{}
+	for _, m := range matches {
+		s.PII = append(s.PII, harassrepro.PIIMatch{Type: string(m.Type), Value: m.Value})
+		if !seen[m.Type] {
+			seen[m.Type] = true
+		}
+	}
+	// Table 6 order, one scan: derive the type set from the matches
+	// instead of a second Extract pass.
+	for _, t := range pii.AllTypes() {
+		if seen[t] {
+			types = append(types, t)
+		}
+	}
+	for _, r := range harm.Profile(types, s.Text) {
+		s.Risks = append(s.Risks, string(r))
+	}
+	s.Gender = string(gender.Infer(s.Text))
 }
 
 // report handles the single-document mode.
@@ -107,7 +169,7 @@ func printScan(s *scan) {
 }
 
 // runStream processes one document per line on the resilience runtime.
-func runStream(jsonOut bool, workers int) {
+func runStream(jsonOut bool, workers int, reg *obs.Registry) {
 	runner := resilience.NewRunner(resilience.Config[scan]{
 		Workers: workers,
 		Ordered: true,
@@ -117,6 +179,7 @@ func runStream(jsonOut bool, workers int) {
 			}
 			return s.Text
 		},
+		Metrics: reg,
 	}, resilience.Stage[scan]{
 		Name:      "extract",
 		Transient: true,

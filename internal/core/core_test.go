@@ -17,7 +17,7 @@ var (
 )
 
 // sharedPipeline runs the quick-scale pipeline once for all tests.
-func sharedPipeline(t *testing.T) *Pipeline {
+func sharedPipeline(t testing.TB) *Pipeline {
 	t.Helper()
 	pipeOnce.Do(func() {
 		pipe, pipeErr = Run(QuickConfig(1))

@@ -22,27 +22,34 @@ type scorer struct {
 	sess   *tokenize.Session
 	feat   *features.Featurizer
 	merged []string // span-merge scratch for long documents
+	// fresh marks a scorer straight out of the pool's New — the
+	// instrumented path counts it as a pool miss, then clears it.
+	fresh bool
 }
 
 // initScorerPool builds the detector's scorer pool; called once by
 // LoadDetector after tok and hasher are set.
 func (d *Detector) initScorerPool() {
 	d.scorers.New = func() any {
-		return &scorer{sess: d.tok.NewSession(), feat: d.hasher.NewFeaturizer()}
+		return &scorer{sess: d.tok.NewSession(), feat: d.hasher.NewFeaturizer(), fresh: true}
 	}
 }
 
 // vectorizeWith mirrors the legacy text-to-vector transform on the
-// scorer's scratch. Documents at or under the span length skip the
-// Spans machinery entirely (Spans would return the token slice
-// unchanged without consuming rng); longer documents keep the exact
-// legacy chunk-shuffle-merge sequence so span sampling stays
-// bit-reproducible.
+// scorer's scratch: tokenize, then featurize.
 //
 // The returned vector aliases the scorer's scratch: consume it before
 // releasing the scorer.
 func (d *Detector) vectorizeWith(sc *scorer, text string, maxLen int, rng *randx.Source) features.Vector {
-	toks := sc.sess.Tokenize(text)
+	return d.featurizeToks(sc, sc.sess.Tokenize(text), maxLen, rng)
+}
+
+// featurizeToks turns an already-tokenized document into a feature
+// vector. Documents at or under the span length skip the Spans
+// machinery entirely (Spans would return the token slice unchanged
+// without consuming rng); longer documents keep the exact legacy
+// chunk-shuffle-merge sequence so span sampling stays bit-reproducible.
+func (d *Detector) featurizeToks(sc *scorer, toks []string, maxLen int, rng *randx.Source) features.Vector {
 	if len(toks) <= maxLen {
 		return sc.feat.Vectorize(toks)
 	}

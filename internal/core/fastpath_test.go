@@ -34,7 +34,7 @@ func referenceVectorize(d *Detector, text string, maxLen int, rng *randx.Source)
 }
 
 // testDetector saves the shared pipeline's models and loads them back.
-func testDetector(t *testing.T) *Detector {
+func testDetector(t testing.TB) *Detector {
 	t.Helper()
 	p := sharedPipeline(t)
 	dir := t.TempDir()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"harassrepro/internal/obs"
 	"harassrepro/internal/pii"
 	"harassrepro/internal/query"
 	"harassrepro/internal/randx"
@@ -58,6 +59,14 @@ type StreamOptions struct {
 	// StageWrap, if set, wraps every stage before the runner is
 	// built — the hook the chaos harness uses to inject faults.
 	StageWrap func(resilience.Stage[StreamDoc]) resilience.Stage[StreamDoc]
+	// Metrics, if set, receives the runner's per-stage counters and
+	// latency histograms plus the scoring instruments (scratch-pool
+	// traffic, sampled phase timings, PII prefilter counters). Scores
+	// are bit-identical with or without it.
+	Metrics *obs.Registry
+	// Trace, if set, records per-stage timings for a seeded-deterministic
+	// sample of documents.
+	Trace *obs.Tracer
 }
 
 var (
@@ -77,6 +86,15 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 	base := randx.New(opts.Seed)
 	cthBase := base.Split("score-cth")
 	doxBase := base.Split("score-dox")
+	// With a registry the stages route through the instrumented paths;
+	// both consume randomness identically, so scores do not change.
+	var sm *scoreMetrics
+	ext := streamExtractor
+	if opts.Metrics != nil {
+		sm = newScoreMetrics(opts.Metrics, opts.Seed)
+		ext = pii.NewExtractor()
+		ext.SetMetrics(opts.Metrics)
+	}
 	stages := []resilience.Stage[StreamDoc]{
 		{
 			Name:      "score-cth",
@@ -86,7 +104,11 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 					return resilience.Permanent(fmt.Errorf("empty document text"))
 				}
 				rng := cthBase.SplitNVal("doc", index)
-				sd.CTH = d.scoreCTHWith(sd.Text, &rng)
+				if sm != nil {
+					sd.CTH = d.scoreObs(d.cth, taskCTH, sd.Text, d.meta.CTHTextLen, &rng, sm, index)
+				} else {
+					sd.CTH = d.scoreCTHWith(sd.Text, &rng)
+				}
 				return nil
 			},
 		},
@@ -95,7 +117,11 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 			Transient: true,
 			Fn: func(_ context.Context, index int, sd *StreamDoc) error {
 				rng := doxBase.SplitNVal("doc", index)
-				sd.Dox = d.scoreDoxWith(sd.Text, &rng)
+				if sm != nil {
+					sd.Dox = d.scoreObs(d.dox, taskDox, sd.Text, d.meta.DoxTextLen, &rng, sm, index)
+				} else {
+					sd.Dox = d.scoreDoxWith(sd.Text, &rng)
+				}
 				return nil
 			},
 		},
@@ -108,7 +134,7 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 				Degradable: true,
 				Fn: func(_ context.Context, _ int, sd *StreamDoc) error {
 					var types []string
-					for _, t := range streamExtractor.Types(sd.Text) {
+					for _, t := range ext.Types(sd.Text) {
 						types = append(types, string(t))
 					}
 					sd.PII = types
@@ -147,6 +173,8 @@ func (d *Detector) streamRunner(opts StreamOptions) *resilience.Runner[StreamDoc
 		Retry:    opts.Retry,
 		Ordered:  opts.Ordered,
 		Describe: func(sd *StreamDoc) string { return sd.ID },
+		Metrics:  opts.Metrics,
+		Tracer:   opts.Trace,
 	}, d.streamStages(opts)...)
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"harassrepro/internal/corpus"
+	"harassrepro/internal/obs"
 	"harassrepro/internal/resilience"
 	"harassrepro/internal/resilience/chaos"
 )
@@ -84,6 +85,7 @@ func TestScoreStreamChaos(t *testing.T) {
 
 	chaosCfg := chaos.Config{Seed: 23, TransientRate: 0.05, PanicRate: 0.01, PermanentRate: 0.02}
 	chaosOpts := opts
+	chaosOpts.Metrics = obs.NewRegistry()
 	chaosOpts.StageWrap = func(st resilience.Stage[StreamDoc]) resilience.Stage[StreamDoc] {
 		return chaos.Wrap(st, chaosCfg)
 	}
@@ -151,6 +153,98 @@ func TestScoreStreamChaos(t *testing.T) {
 			}
 		}
 	}
+
+	// Reconcile the obs counters against the chaos plan. The poison sets
+	// determine every failure and item-status total exactly; the
+	// transient/panic mix only shifts how attempts split into retries,
+	// which the errors == retries + failures identity still pins down.
+	s := chaosOpts.Metrics.Snapshot()
+	cv := func(name, stage string) int {
+		return int(s.CounterValue(name, obs.L("stage", stage)))
+	}
+	poisonCTH := chaos.PoisonIndexes(chaosCfg, "score-cth", len(docs))
+	poisonDoxOnly := 0
+	for _, i := range chaos.PoisonIndexes(chaosCfg, "score-dox", len(docs)) {
+		if !contains(poisonCTH, i) {
+			poisonDoxOnly++
+		}
+	}
+	annotFailures := map[string]int{}
+	for _, stage := range []string{"pii", "taxonomy"} {
+		for _, i := range chaos.PoisonIndexes(chaosCfg, stage, len(docs)) {
+			if !poison[i] { // quarantined docs never reach the annotation stages
+				annotFailures[stage]++
+			}
+		}
+	}
+	wantFailures := map[string]int{
+		"score-cth": len(poisonCTH),
+		"score-dox": poisonDoxOnly,
+		"pii":       annotFailures["pii"],
+		"taxonomy":  annotFailures["taxonomy"],
+	}
+	// Documents entering each stage: everything reaches score-cth; docs
+	// quarantined there never reach score-dox; quarantined docs skip the
+	// degradable annotation stages (degraded ones continue).
+	wantEntered := map[string]int{
+		"score-cth": len(docs),
+		"score-dox": len(docs) - len(poisonCTH),
+		"pii":       len(docs) - len(poison),
+		"taxonomy":  len(docs) - len(poison),
+	}
+	for _, stage := range []string{"score-cth", "score-dox", "pii", "taxonomy"} {
+		attempts := cv("pipeline_stage_attempts_total", stage)
+		retries := cv("pipeline_stage_retries_total", stage)
+		errs := cv("pipeline_stage_errors_total", stage)
+		panics := cv("pipeline_stage_panics_total", stage)
+		failures := cv("pipeline_stage_failures_total", stage)
+		if got, want := attempts-retries, wantEntered[stage]; got != want {
+			t.Errorf("stage %s: attempts-retries = %d, want %d entering docs", stage, got, want)
+		}
+		if failures != wantFailures[stage] {
+			t.Errorf("stage %s: failures = %d, want %d from the poison plan", stage, failures, wantFailures[stage])
+		}
+		// Without cancellation every failed attempt is either retried or
+		// the permanent failure.
+		if errs != retries+failures {
+			t.Errorf("stage %s: errors %d != retries %d + failures %d", stage, errs, retries, failures)
+		}
+		if panics > errs {
+			t.Errorf("stage %s: panics %d > errors %d", stage, panics, errs)
+		}
+		// Every poison doc burns the full retry budget at its fatal stage.
+		if m, ok := s.Find("pipeline_stage_latency_ns", obs.L("stage", stage)); !ok || int(m.Count) != attempts {
+			t.Errorf("stage %s: latency histogram count %d != attempts %d", stage, m.Count, attempts)
+		}
+	}
+	for _, dl := range faultySum.DeadLetters {
+		if dl.Attempts != streamRetry().MaxAttempts {
+			t.Errorf("dead letter %v burned %d attempts, want the full budget %d",
+				dl.ID, dl.Attempts, streamRetry().MaxAttempts)
+		}
+	}
+	// Item-status totals reconcile with the run summary.
+	iv := func(status string) int {
+		return int(s.CounterValue("pipeline_items_total", obs.L("status", status)))
+	}
+	// Summary.Succeeded includes degraded docs; items_total{ok} does not.
+	if iv("ok") != faultySum.Succeeded-faultySum.Degraded || iv("degraded") != faultySum.Degraded || iv("quarantined") != faultySum.Quarantined {
+		t.Errorf("items_total ok/degraded/quarantined = %d/%d/%d, summary %d/%d/%d",
+			iv("ok"), iv("degraded"), iv("quarantined"),
+			faultySum.Succeeded-faultySum.Degraded, faultySum.Degraded, faultySum.Quarantined)
+	}
+	if iv("ok")+iv("degraded")+iv("quarantined") != faultySum.Processed {
+		t.Errorf("sum of items_total != Processed %d", faultySum.Processed)
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // TestScoreStreamDeterministicAcrossWorkers: same seed, different

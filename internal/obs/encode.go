@@ -1,0 +1,176 @@
+package obs
+
+// Snapshot encoders: a Prometheus text-format writer for scraping and a
+// JSON writer for the CLI tools' final reports. Both render from the
+// same Snapshot, so a scraped series and a printed report can never
+// disagree about a value.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Float is a float64 whose JSON form survives NaN and infinities
+// (encoding/json rejects them): non-finite values are encoded as the
+// strings "NaN", "+Inf" and "-Inf", matching the Prometheus text
+// spelling.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the numeric
+// and the string spellings.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	case `"+Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteProm writes the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per metric
+// name, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return writeProm(w, r.Snapshot())
+}
+
+func writeProm(w io.Writer, s Snapshot) error {
+	var sb strings.Builder
+	prev := ""
+	for _, m := range s.Metrics {
+		if m.Name != prev {
+			prev = m.Name
+			if m.Help != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", m.Name, m.Kind)
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				sb.WriteString(m.Name)
+				sb.WriteString("_bucket")
+				writeLabels(&sb, m.Labels, Label{Name: "le", Value: b.LE})
+				fmt.Fprintf(&sb, " %d\n", b.Count)
+			}
+			sb.WriteString(m.Name)
+			sb.WriteString("_sum")
+			writeLabels(&sb, m.Labels)
+			fmt.Fprintf(&sb, " %d\n", m.Sum)
+			sb.WriteString(m.Name)
+			sb.WriteString("_count")
+			writeLabels(&sb, m.Labels)
+			fmt.Fprintf(&sb, " %d\n", m.Count)
+		default:
+			sb.WriteString(m.Name)
+			writeLabels(&sb, m.Labels)
+			sb.WriteByte(' ')
+			var v float64
+			if m.Value != nil {
+				v = float64(*m.Value)
+			}
+			sb.WriteString(formatValue(v))
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatValue renders a sample value; non-finite values use the text
+// format's NaN/+Inf/-Inf spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeLabels(sb *strings.Builder, labels []Label, extra ...Label) {
+	if len(labels)+len(extra) == 0 {
+		return
+	}
+	sb.WriteByte('{')
+	first := true
+	for _, l := range append(append([]Label(nil), labels...), extra...) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

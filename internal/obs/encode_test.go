@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of everything, with fixed
+// values, shared by the JSON golden test and the text-encoder tests.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.NewCounter("pipeline_items_total", "items completed, by outcome", L("status", "ok")).Add(40)
+	r.NewCounter("pipeline_items_total", "items completed, by outcome", L("status", "quarantined")).Add(2)
+	r.NewGauge("pipeline_last_run_docs_per_sec", "throughput of the last completed run").Set(1234.5)
+	h := r.NewHistogram("stage_latency_ns", "per-attempt stage latency", []int64{1000, 10000, 100000}, L("stage", "score-cth"))
+	for _, v := range []int64{500, 1500, 1500, 50000, 2000000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON snapshot drifted from golden file (run with UPDATE_GOLDEN=1 to refresh):\n%s", got)
+	}
+}
+
+func TestWritePromTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Registry
+		want  []string // every line must appear in the output
+		exact string   // when non-empty, the output must equal this
+	}{
+		{
+			name:  "empty registry",
+			build: NewRegistry,
+			exact: "",
+		},
+		{
+			name: "counter with escaped label",
+			build: func() *Registry {
+				r := NewRegistry()
+				r.NewCounter("hits_total", "hits", L("path", "a\\b\"c\nd")).Add(3)
+				return r
+			},
+			want: []string{
+				"# HELP hits_total hits",
+				"# TYPE hits_total counter",
+				`hits_total{path="a\\b\"c\nd"} 3`,
+			},
+		},
+		{
+			name: "help with newline and backslash",
+			build: func() *Registry {
+				r := NewRegistry()
+				r.NewCounter("x_total", "line1\nline2 \\ slash").Inc()
+				return r
+			},
+			want: []string{`# HELP x_total line1\nline2 \\ slash`},
+		},
+		{
+			name: "gauge NaN and infinities",
+			build: func() *Registry {
+				r := NewRegistry()
+				r.NewGauge("g_nan", "n").Set(math.NaN())
+				r.NewGauge("g_pinf", "p").Set(math.Inf(1))
+				r.NewGauge("g_ninf", "m").Set(math.Inf(-1))
+				return r
+			},
+			want: []string{"g_nan NaN", "g_pinf +Inf", "g_ninf -Inf"},
+		},
+		{
+			name: "histogram cumulative buckets",
+			build: func() *Registry {
+				r := NewRegistry()
+				h := r.NewHistogram("lat_ns", "latency", []int64{10, 100}, L("stage", "s"))
+				for _, v := range []int64{5, 50, 5000} {
+					h.Observe(v)
+				}
+				return r
+			},
+			want: []string{
+				"# TYPE lat_ns histogram",
+				`lat_ns_bucket{stage="s",le="10"} 1`,
+				`lat_ns_bucket{stage="s",le="100"} 2`,
+				`lat_ns_bucket{stage="s",le="+Inf"} 3`,
+				`lat_ns_sum{stage="s"} 5055`,
+				`lat_ns_count{stage="s"} 3`,
+			},
+		},
+		{
+			name: "one header per metric name across label sets",
+			build: func() *Registry {
+				r := NewRegistry()
+				r.NewCounter("multi_total", "m", L("k", "a")).Add(1)
+				r.NewCounter("multi_total", "m", L("k", "b")).Add(2)
+				return r
+			},
+			exact: "# HELP multi_total m\n# TYPE multi_total counter\n" +
+				"multi_total{k=\"a\"} 1\nmulti_total{k=\"b\"} 2\n",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := c.build().WriteProm(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if c.exact != "" || len(c.want) == 0 {
+				if out != c.exact {
+					t.Fatalf("output = %q, want %q", out, c.exact)
+				}
+				return
+			}
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFloatJSONRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -3, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		in := Float(v)
+		data, err := in.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var out Float
+		if err := out.UnmarshalJSON(data); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(float64(out)) {
+				t.Fatalf("NaN round-tripped to %v", out)
+			}
+			continue
+		}
+		if float64(out) != v {
+			t.Fatalf("%v round-tripped to %v via %s", v, out, data)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"harassrepro/internal/testutil"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "requests", L("route", "a"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.NewGauge("temp", "temperature")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatalf("gauge should hold +Inf, got %v", g.Value())
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "x", L("k", "v"))
+	b := r.NewCounter("x_total", "ignored on re-registration", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.NewCounter("x_total", "x", L("k", "w"))
+	if a == other {
+		t.Fatal("different label values must be distinct instruments")
+	}
+
+	h1 := r.NewHistogram("lat", "latency", []int64{1, 2, 3})
+	h2 := r.NewHistogram("lat", "latency", []int64{9, 99})
+	if h1 != h2 {
+		t.Fatal("histogram re-registration must return the original")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter's key must panic")
+		}
+	}()
+	r.NewGauge("x_total", "x", L("k", "v"))
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_ns", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 500, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+	wantSum := int64(-5 + 0 + 10 + 11 + 100 + 500 + 1000 + 1001 + 1<<40)
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %d, want %d", got, wantSum)
+	}
+	// Bucket occupancy: (-inf,10] = 3, (10,100] = 2, (100,1000] = 2, +Inf = 2.
+	want := []uint64{3, 2, 2, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestDefaultBucketLayouts(t *testing.T) {
+	for name, bounds := range map[string][]int64{"duration": DurationBuckets(), "size": SizeBuckets()} {
+		if len(bounds) == 0 {
+			t.Fatalf("%s buckets empty", name)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%s buckets not strictly increasing at %d: %v", name, i, bounds)
+			}
+		}
+	}
+}
+
+func TestSnapshotFind(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "b").Add(2)
+	r.NewCounter("a_total", "a", L("stage", "x")).Add(7)
+	s := r.Snapshot()
+	if len(s.Metrics) != 2 || s.Metrics[0].Name != "a_total" {
+		t.Fatalf("snapshot not sorted by name: %+v", s.Metrics)
+	}
+	if got := s.CounterValue("a_total", L("stage", "x")); got != 7 {
+		t.Fatalf("CounterValue = %v, want 7", got)
+	}
+	if got := s.CounterValue("missing_total"); got != 0 {
+		t.Fatalf("missing counter = %v, want 0", got)
+	}
+	if _, ok := s.Find("a_total", L("stage", "y")); ok {
+		t.Fatal("Find must not match different label values")
+	}
+}
+
+func TestTracerDeterministicSampling(t *testing.T) {
+	a := NewTracer(42, 0.25, 16)
+	b := NewTracer(42, 0.25, 16)
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		if a.Sampled(i) != b.Sampled(i) {
+			t.Fatalf("sampling diverged at %d for equal seeds", i)
+		}
+		if a.Sampled(i) {
+			sampled++
+		}
+	}
+	if sampled < 150 || sampled > 350 {
+		t.Fatalf("sampled %d of 1000 at rate 0.25", sampled)
+	}
+	c := NewTracer(43, 0.25, 16)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if a.Sampled(i) != c.Sampled(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical sample sets")
+	}
+	var nilTracer *Tracer
+	if nilTracer.Sampled(0) {
+		t.Fatal("nil tracer must sample nothing")
+	}
+	nilTracer.Record(0, "x", 1) // must not panic
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(1, 1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(i, "stage", int64(i))
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	got := tr.Timings()
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, st := range got {
+		if st.Doc != 6+i {
+			t.Fatalf("ring order wrong: %+v", got)
+		}
+	}
+	slow := tr.Slowest(2)
+	if len(slow) != 2 || slow[0].Nanos != 9 || slow[1].Nanos != 8 {
+		t.Fatalf("slowest = %+v", slow)
+	}
+}
+
+// TestMetricAllocs gates the hot-path mutations at zero allocations:
+// the whole point of pre-registered handles is that observing never
+// touches the heap.
+func TestMetricAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	h := r.NewHistogram("h_ns", "h", DurationBuckets())
+	tr := NewTracer(7, 0.5, 64)
+	tr.Record(0, "warm", 1)
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(3.5)
+		g.Add(1)
+		h.Observe(12345)
+		if tr.Sampled(3) {
+			tr.Record(3, "stage", 777)
+		}
+	}); n > 0 {
+		t.Errorf("hot-path mutations allocate %v per op, want 0", n)
+	}
+}

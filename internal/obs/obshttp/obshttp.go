@@ -1,0 +1,51 @@
+// Package obshttp exposes an obs.Registry over HTTP for the CLI tools'
+// -metrics-addr flag: GET /metrics serves the Prometheus text format,
+// GET /metrics.json the JSON snapshot, and the standard net/http/pprof
+// endpoints are mounted under /debug/pprof/ so a long scoring run can
+// be profiled in place. It lives in its own package so the metrics core
+// stays free of any net/http linkage.
+package obshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"harassrepro/internal/obs"
+)
+
+// Handler returns the metrics-and-pprof mux over reg.
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves Handler(reg) on
+// a background goroutine for the life of the process. The returned
+// listener reports the bound address; closing it stops the server.
+func Serve(addr string, reg *obs.Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns when ln closes
+	return ln, nil
+}

@@ -1,0 +1,85 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harassrepro/internal/obs"
+)
+
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.NewCounter("pipeline_items_total", "items", obs.L("status", "ok")).Add(7)
+	r.NewHistogram("stage_latency_ns", "latency", []int64{1000}, obs.L("stage", "score")).Observe(500)
+	return r
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestHandlerServesPromAndJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry()))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		`pipeline_items_total{status="ok"} 7`,
+		`stage_latency_ns_bucket{stage="score",le="1000"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, resp = get(t, srv, "/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a snapshot: %v", err)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Errorf("snapshot has %d metrics, want 2", len(snap.Metrics))
+	}
+
+	body, resp = get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0", testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "pipeline_items_total") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"harassrepro/internal/randx"
+)
+
+// StageTiming is one recorded stage execution of one sampled document.
+type StageTiming struct {
+	// Doc is the document's index in the input stream.
+	Doc int `json:"doc"`
+	// Stage is the pipeline stage name.
+	Stage string `json:"stage"`
+	// Nanos is the measured stage duration.
+	Nanos int64 `json:"nanos"`
+}
+
+// Tracer keeps a ring buffer of recent per-document stage timings for a
+// deterministically sampled subset of documents. Whether a document is
+// sampled is a pure function of (seed, document index) — the same
+// derivation discipline as retry jitter and chaos injection — so the
+// sampled set is identical across runs, worker counts and injected
+// faults, and a trace from a chaotic run can be diffed against the same
+// documents in a clean run.
+//
+// Sampled is lock-free and allocation-free, so the hot path pays one
+// hash per (stage, document) to learn that a document is not sampled.
+// Record takes a mutex, but only sampled documents reach it.
+type Tracer struct {
+	rate float64
+	base randx.Source
+
+	mu    sync.Mutex
+	ring  []StageTiming
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer sampling documents with probability rate,
+// keeping the most recent capacity timings. rate <= 0 disables
+// sampling; capacity <= 0 defaults to 256.
+func NewTracer(seed uint64, rate float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		rate: rate,
+		base: *randx.New(seed).Split("trace"),
+		ring: make([]StageTiming, 0, capacity),
+	}
+}
+
+// Sampled reports whether the document at index is in the sampled set.
+// Safe for concurrent use; nil-safe (a nil tracer samples nothing).
+func (t *Tracer) Sampled(index int) bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	rng := t.base.SplitNVal("doc", index)
+	return rng.Float64() < t.rate
+}
+
+// Record stores one stage timing, evicting the oldest entry once the
+// ring is full. Callers should gate on Sampled; Record itself does not
+// re-check. Nil-safe no-op.
+func (t *Tracer) Record(index int, stage string, nanos int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, StageTiming{Doc: index, Stage: stage, Nanos: nanos})
+	} else {
+		t.ring[t.next] = StageTiming{Doc: index, Stage: stage, Nanos: nanos}
+	}
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many timings were recorded over the tracer's
+// lifetime (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Timings returns a copy of the retained timings, oldest first.
+func (t *Tracer) Timings() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageTiming, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Slowest returns up to n retained timings sorted by descending
+// duration — the "what was slow recently" view the CLI report prints.
+func (t *Tracer) Slowest(n int) []StageTiming {
+	out := t.Timings()
+	sort.Slice(out, func(i, j int) bool { return out[i].Nanos > out[j].Nanos })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package pii
+
+// Extractor instrumentation. SetMetrics registers prefilter and
+// extraction counters on an obs.Registry and makes every subsequent
+// Extract on that Extractor report into them:
+//
+//	pii_docs_scanned_total            Extract calls (one prefilter scan each)
+//	pii_docs_clean_total              scans where no regex family was admitted
+//	pii_family_admitted_total{family} prefilter admissions: the family's
+//	                                  regexes actually ran on the document
+//	pii_family_matches_total{family}  raw matches those runs produced
+//	                                  (pre-dedupe)
+//
+// so scanned*families - sum(admitted) is the number of regex-family
+// executions the prefilter saved. An Extractor without metrics (the
+// zero value, or NewExtractor unadorned) pays a single nil check.
+
+import "harassrepro/internal/obs"
+
+// extractorMetrics holds the pre-resolved instrument handles.
+type extractorMetrics struct {
+	scanned  *obs.Counter
+	clean    *obs.Counter
+	admitted []*obs.Counter // aligned with plans
+	matches  []*obs.Counter
+}
+
+// SetMetrics attaches reg to the extractor. Not safe to call
+// concurrently with Extract; attach before use.
+func (e *Extractor) SetMetrics(reg *obs.Registry) {
+	m := &extractorMetrics{
+		scanned: reg.NewCounter("pii_docs_scanned_total",
+			"documents run through the PII prefilter scan"),
+		clean: reg.NewCounter("pii_docs_clean_total",
+			"documents the prefilter cleared without running any regex family"),
+	}
+	for _, p := range plans {
+		l := obs.L("family", p.name)
+		m.admitted = append(m.admitted, reg.NewCounter("pii_family_admitted_total",
+			"documents admitted to a regex family by the prefilter", l))
+		m.matches = append(m.matches, reg.NewCounter("pii_family_matches_total",
+			"raw PII matches per regex family, before dedupe", l))
+	}
+	e.m = m
+}

@@ -105,8 +105,12 @@ func toSet(items ...string) map[string]bool {
 	return m
 }
 
-// Extractor extracts PII matches from text.
-type Extractor struct{}
+// Extractor extracts PII matches from text. Extractors are stateless
+// unless metrics are attached (see SetMetrics in obs.go); a zero-value
+// Extractor is ready to use.
+type Extractor struct {
+	m *extractorMetrics
+}
 
 // NewExtractor returns a ready-to-use Extractor. The zero value is also
 // usable; the constructor exists for API symmetry and future options.
@@ -123,9 +127,25 @@ func NewExtractor() *Extractor { return &Extractor{} }
 func (e *Extractor) Extract(text string) []Match {
 	facts := scan(text)
 	var out []Match
-	for _, p := range plans {
-		if facts.admits(p) {
-			out = append(out, p.extract(text)...)
+	admitted := false
+	for i, p := range plans {
+		if !facts.admits(p) {
+			continue
+		}
+		admitted = true
+		ms := p.extract(text)
+		if e.m != nil {
+			e.m.admitted[i].Inc()
+			if len(ms) > 0 {
+				e.m.matches[i].Add(uint64(len(ms)))
+			}
+		}
+		out = append(out, ms...)
+	}
+	if e.m != nil {
+		e.m.scanned.Inc()
+		if !admitted {
+			e.m.clean.Inc()
 		}
 	}
 	if len(out) == 0 {

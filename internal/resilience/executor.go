@@ -2,11 +2,14 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"harassrepro/internal/obs"
 	"harassrepro/internal/randx"
 )
 
@@ -54,14 +57,25 @@ type Config[T any] struct {
 	// Describe, if set, labels items in dead letters (typically the
 	// document ID).
 	Describe func(*T) string
+	// Metrics, if set, receives per-stage attempt/retry/panic/failure
+	// counters, per-attempt latency histograms and per-status item
+	// counters (see obs.go for the catalog and its reconciliation
+	// identities). The hot path stays allocation-free either way.
+	Metrics *obs.Registry
+	// Tracer, if set, records per-stage timings for the documents its
+	// seeded sampling selects; sampling is a pure function of (tracer
+	// seed, item index), so traces are reproducible across runs and
+	// worker counts.
+	Tracer *obs.Tracer
 }
 
 // Runner executes a fixed stage pipeline over a stream of items on a
 // bounded worker pool. A Runner is immutable and safe for concurrent
 // use; each Process call is an independent run.
 type Runner[T any] struct {
-	cfg    Config[T]
-	stages []Stage[T]
+	cfg     Config[T]
+	stages  []Stage[T]
+	metrics *runnerMetrics
 }
 
 // NewRunner builds a Runner over the given stages.
@@ -70,7 +84,15 @@ func NewRunner[T any](cfg Config[T], stages ...Stage[T]) *Runner[T] {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
-	return &Runner[T]{cfg: cfg, stages: stages}
+	r := &Runner[T]{cfg: cfg, stages: stages}
+	if cfg.Metrics != nil {
+		names := make([]string, len(stages))
+		for i, st := range stages {
+			names[i] = st.Name
+		}
+		r.metrics = newRunnerMetrics(cfg.Metrics, names)
+	}
+	return r
 }
 
 type work[T any] struct {
@@ -125,6 +147,8 @@ func (r *Runner[T]) Process(ctx context.Context, in <-chan T) <-chan Result[T] {
 		}
 	}()
 
+	started := time.Now()
+	var completed atomic.Uint64
 	var wg sync.WaitGroup
 	wg.Add(r.cfg.Workers)
 	for w := 0; w < r.cfg.Workers; w++ {
@@ -134,12 +158,21 @@ func (r *Runner[T]) Process(ctx context.Context, in <-chan T) <-chan Result[T] {
 				// Deliver unconditionally: results channels must be
 				// drained until closed, even after cancellation, so no
 				// completed item is lost.
-				raw <- r.runItem(ctx, wk.index, wk.item)
+				res := r.runItem(ctx, wk.index, wk.item)
+				completed.Add(1)
+				raw <- res
 			}
 		}()
 	}
 	go func() {
 		wg.Wait()
+		if r.metrics != nil {
+			elapsed := time.Since(started).Seconds()
+			r.metrics.runSec.Set(elapsed)
+			if elapsed > 0 {
+				r.metrics.docsPS.Set(float64(completed.Load()) / elapsed)
+			}
+		}
 		close(raw)
 	}()
 
@@ -217,8 +250,8 @@ func sortResults[T any](rs []Result[T]) {
 // recovery, degradation and quarantine.
 func (r *Runner[T]) runItem(ctx context.Context, index int, item T) Result[T] {
 	res := Result[T]{Index: index, Status: StatusOK}
-	for _, st := range r.stages {
-		err, attempts := r.runStage(ctx, st, index, &item)
+	for si, st := range r.stages {
+		err, attempts := r.runStage(ctx, st, si, index, &item)
 		if err == nil {
 			continue
 		}
@@ -236,22 +269,55 @@ func (r *Runner[T]) runItem(ctx context.Context, index int, item T) Result[T] {
 		break
 	}
 	res.Item = item
+	if r.metrics != nil {
+		r.metrics.items[res.Status].Inc()
+	}
 	return res
 }
 
 // runStage runs one stage with the retry policy, returning the final
-// error (nil on success) and the number of attempts made.
-func (r *Runner[T]) runStage(ctx context.Context, st Stage[T], index int, item *T) (error, int) {
+// error (nil on success) and the number of attempts made. si is the
+// stage's index into r.stages, used to resolve its metric handles.
+func (r *Runner[T]) runStage(ctx context.Context, st Stage[T], si, index int, item *T) (error, int) {
+	var sm *stageMetrics
+	if r.metrics != nil {
+		sm = &r.metrics.stages[si]
+	}
+	traced := r.cfg.Tracer.Sampled(index)
+	timed := sm != nil || traced
 	var jitter *randx.Source
 	for attempt := 1; ; attempt++ {
+		if sm != nil {
+			sm.attempts.Inc()
+			if attempt > 1 {
+				sm.retries.Inc()
+			}
+		}
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		err := r.attempt(ctx, st, index, item)
+		if timed {
+			r.observeAttempt(si, index, time.Since(t0), traced)
+		}
 		if err == nil {
 			return nil, attempt
+		}
+		if sm != nil {
+			sm.errors.Inc()
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				sm.panics.Inc()
+			}
 		}
 		if ctx.Err() != nil {
 			return fmt.Errorf("cancelled: %w", err), attempt
 		}
 		if !retryable(st.Transient, err) || attempt >= r.cfg.Retry.MaxAttempts {
+			if sm != nil {
+				sm.failures.Inc()
+			}
 			return err, attempt
 		}
 		if jitter == nil {

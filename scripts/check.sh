@@ -22,16 +22,18 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 # The concurrent runtime (worker pool, chaos harness, streaming
-# scoring) must be race-clean, not just correct.
-echo "== go test -race ./internal/resilience/... ./internal/core/..."
-go test -race ./internal/resilience/... ./internal/core/...
+# scoring) and the metrics core shared across its workers must be
+# race-clean, not just correct.
+echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/..."
+go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/...
 
 # Allocation-regression gates: the scoring hot path (tokenize,
-# featurize, PII clean path, pooled detector scoring) must stay
-# allocation-free. These run under the race detector above too, but the
-# race detector changes the allocator, so assert them in a plain run.
+# featurize, PII clean path, pooled detector scoring) and the obs
+# metric handles it records into must stay allocation-free. These run
+# under the race detector above too, but the race detector changes the
+# allocator, so assert them in a plain run.
 echo "== alloc-regression tests"
-go test -run 'Allocs' ./internal/tokenize/ ./internal/features/ ./internal/pii/ ./internal/core/
+go test -run 'Allocs' ./internal/tokenize/ ./internal/features/ ./internal/pii/ ./internal/core/ ./internal/obs/
 
 if [[ $fast -eq 0 ]]; then
   # Benchmark smoke: every benchmark must still run (one iteration, no
