@@ -63,6 +63,26 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentsAll times reproducing every paper artifact from
+// a completed run on the memoized artifact graph's concurrent
+// scheduler — the cost of `-experiment all` after the pipeline itself.
+func BenchmarkExperimentsAll(b *testing.B) {
+	s := benchPipeline(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := s.Experiments(context.Background(), nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.ID, r.Err)
+			}
+		}
+	}
+}
+
 func BenchmarkTable1RawDatasets(b *testing.B)           { benchExperiment(b, "table1") }
 func BenchmarkTable2TrainingSets(b *testing.B)          { benchExperiment(b, "table2") }
 func BenchmarkTable3ClassifierPerformance(b *testing.B) { benchExperiment(b, "table3") }

@@ -1,0 +1,174 @@
+// Command benchpipeline measures what the artifact-graph refactor buys:
+// it times `-scale quick -experiment all` twice — once with derived
+// artifacts recomputed per caller (the pre-graph monolith's behavior,
+// via the graph's NoMemo mode) and once memoized — and writes wall
+// times, per-stage cache-hit counts and speedups to BENCH_pipeline.json.
+// The committed pre-refactor baseline (measured on the monolith itself,
+// before the incremental trainer and pooled vectorizer landed) is
+// embedded for the cross-commit comparison.
+//
+// Usage:
+//
+//	benchpipeline [-seed 1] [-reps 3] [-out BENCH_pipeline.json]
+//
+// Each configuration runs -reps times and the fastest pass is recorded
+// (best-of-N damps scheduler noise on small containers).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+)
+
+// baseline is the pre-refactor monolith's timing at quick scale,
+// seed 1, on the reference machine (sequential Run + sequential
+// `-experiment all`), measured at the commit named below.
+var baseline = timing{
+	RunSeconds:         5.7,
+	ExperimentsSeconds: 2.8,
+	TotalSeconds:       8.5,
+}
+
+const baselineCommit = "7c7560c"
+
+type timing struct {
+	RunSeconds         float64 `json:"run_seconds"`
+	ExperimentsSeconds float64 `json:"experiments_seconds"`
+	TotalSeconds       float64 `json:"total_seconds"`
+}
+
+type stageStat struct {
+	Name     string `json:"name"`
+	Computes uint64 `json:"computes"`
+	Hits     uint64 `json:"hits"`
+}
+
+type benchReport struct {
+	Bench             string      `json:"bench"`
+	Seed              uint64      `json:"seed"`
+	Scale             string      `json:"scale"`
+	BaselineCommit    string      `json:"baseline_commit"`
+	Baseline          timing      `json:"baseline"`
+	NoMemo            timing      `json:"nomemo"`
+	Memoized          timing      `json:"memoized"`
+	Stages            []stageStat `json:"stages"`
+	SpeedupVsBaseline float64     `json:"speedup_vs_baseline"`
+	SpeedupVsNoMemo   float64     `json:"speedup_vs_nomemo"`
+}
+
+// measure runs the pipeline and all experiments under the given
+// options, returning the split wall times.
+func measure(opts core.Options, seed uint64, workers int) (timing, *core.Pipeline, error) {
+	start := time.Now()
+	p, err := core.RunWithOptions(core.QuickConfig(seed), opts)
+	if err != nil {
+		return timing{}, nil, err
+	}
+	runDone := time.Now()
+	results, err := p.RunExperiments(context.Background(), nil, workers)
+	if err != nil {
+		return timing{}, nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return timing{}, nil, fmt.Errorf("experiment %s: %w", r.ID, r.Err)
+		}
+	}
+	end := time.Now()
+	return timing{
+		RunSeconds:         runDone.Sub(start).Seconds(),
+		ExperimentsSeconds: end.Sub(runDone).Seconds(),
+		TotalSeconds:       end.Sub(start).Seconds(),
+	}, p, nil
+}
+
+// measureBest repeats measure and keeps the fastest total (and the
+// pipeline from that pass, for stage stats).
+func measureBest(opts core.Options, seed uint64, workers, reps int) (timing, *core.Pipeline, error) {
+	var best timing
+	var bestP *core.Pipeline
+	for i := 0; i < reps; i++ {
+		tm, p, err := measure(opts, seed, workers)
+		if err != nil {
+			return timing{}, nil, err
+		}
+		if bestP == nil || tm.TotalSeconds < best.TotalSeconds {
+			best, bestP = tm, p
+		}
+	}
+	return best, bestP, nil
+}
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 1, "pipeline seed")
+		reps = flag.Int("reps", 3, "passes per configuration; fastest is recorded")
+		out  = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+	)
+	flag.Parse()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchpipeline: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// Recompute-per-caller pass: the monolith's shape (sequential
+	// experiments, derived artifacts rebuilt on every use).
+	fmt.Fprintf(os.Stderr, "pass 1/2: recompute-per-caller (monolith emulation), best of %d...\n", *reps)
+	noMemo, _, err := measureBest(core.Options{Workers: 1, NoMemo: true}, *seed, 1, *reps)
+	if err != nil {
+		fail("nomemo pass: %v", err)
+	}
+
+	// Memoized graph pass, as `harassrepro -scale quick -experiment
+	// all` runs it.
+	fmt.Fprintf(os.Stderr, "pass 2/2: memoized artifact graph, best of %d...\n", *reps)
+	reg := obs.NewRegistry()
+	memo, p, err := measureBest(core.Options{Metrics: reg}, *seed, 0, *reps)
+	if err != nil {
+		fail("memoized pass: %v", err)
+	}
+
+	rep := benchReport{
+		Bench:             "harassrepro -scale quick -experiment all",
+		Seed:              *seed,
+		Scale:             "quick",
+		BaselineCommit:    baselineCommit,
+		Baseline:          baseline,
+		NoMemo:            noMemo,
+		Memoized:          memo,
+		SpeedupVsBaseline: baseline.TotalSeconds / memo.TotalSeconds,
+		SpeedupVsNoMemo:   noMemo.TotalSeconds / memo.TotalSeconds,
+	}
+	for _, st := range p.Graph().Stats() {
+		rep.Stages = append(rep.Stages, stageStat{Name: st.Name, Computes: st.Computes, Hits: st.Hits})
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail("encoding: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "baseline (commit %s): %.2fs   nomemo: %.2fs   memoized: %.2fs\n",
+		baselineCommit, baseline.TotalSeconds, noMemo.TotalSeconds, memo.TotalSeconds)
+	fmt.Fprintf(os.Stderr, "speedup vs baseline: %.2fx   vs recompute-per-caller: %.2fx\n",
+		rep.SpeedupVsBaseline, rep.SpeedupVsNoMemo)
+	if rep.SpeedupVsBaseline < 1.5 {
+		fmt.Fprintf(os.Stderr, "WARNING: speedup vs baseline below 1.5x target\n")
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

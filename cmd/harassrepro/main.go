@@ -3,13 +3,25 @@
 //
 // Usage:
 //
-//	harassrepro [-seed N] [-scale quick|default] [-experiment id|all] [-list]
+//	harassrepro [-seed N] [-scale quick|default] [-experiment id|all]
+//	            [-workers N] [-metrics] [-metrics-addr :9090] [-list]
 //
 // With -experiment all (the default) every registered experiment is
-// reproduced in paper order.
+// reproduced in paper order. The pipeline runs on a memoized artifact
+// graph: shared intermediates are computed exactly once and independent
+// stages/experiments are scheduled concurrently (-workers bounds the
+// pool), with byte-identical output at any worker count. A failing
+// experiment no longer aborts the run — the rest still execute and the
+// failures are reported together at the end (non-zero exit).
+//
+// With -metrics, a JSON metrics snapshot (per-stage compute/cache-hit
+// counters and compute latency, plus scheduler instruments) is printed
+// to stderr after the run; -metrics-addr additionally serves the live
+// registry at /metrics (Prometheus text format) and /debug/pprof.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,41 +29,60 @@ import (
 	"strings"
 	"time"
 
-	"harassrepro"
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/obs/obshttp"
 )
 
 func main() {
 	var (
-		seed       = flag.Uint64("seed", 1, "random seed for the reproduction")
-		scale      = flag.String("scale", "default", "corpus scale: quick or default")
-		experiment = flag.String("experiment", "all", "experiment ID to run, or 'all'")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
-		saveModels = flag.String("save-models", "", "directory to save trained classifiers (vocab + weights + thresholds)")
-		outDir     = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		seed        = flag.Uint64("seed", 1, "random seed for the reproduction")
+		scale       = flag.String("scale", "default", "corpus scale: quick or default")
+		experiment  = flag.String("experiment", "all", "experiment ID to run, or 'all'")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		saveModels  = flag.String("save-models", "", "directory to save trained classifiers (vocab + weights + thresholds)")
+		outDir      = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		workers     = flag.Int("workers", 0, "worker pool size for stage/experiment scheduling (0 = GOMAXPROCS)")
+		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range harassrepro.ExperimentIDs() {
-			fmt.Printf("%-12s %s\n", id, harassrepro.ExperimentTitle(id))
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	var cfg harassrepro.Config
+	var cfg core.Config
 	switch *scale {
 	case "quick":
-		cfg = harassrepro.QuickConfig(*seed)
+		cfg = core.QuickConfig(*seed)
 	case "default":
-		cfg = harassrepro.DefaultConfig(*seed)
+		cfg = core.DefaultConfig(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "harassrepro: unknown scale %q (want quick or default)\n", *scale)
 		os.Exit(2)
 	}
 
+	var reg *obs.Registry
+	if *metrics || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		ln, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harassrepro: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	fmt.Fprintf(os.Stderr, "running pipeline (seed %d, scale %s)...\n", *seed, *scale)
 	start := time.Now()
-	study, err := harassrepro.Run(cfg)
+	p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers, Metrics: reg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
 		os.Exit(1)
@@ -59,14 +90,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	if *saveModels != "" {
-		if err := study.SaveModels(*saveModels); err != nil {
+		if err := p.SaveModels(*saveModels); err != nil {
 			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "saved classifiers to %s\n", *saveModels)
 	}
 
-	ids := harassrepro.ExperimentIDs()
+	var ids []string // nil means all
 	if *experiment != "all" {
 		ids = []string{*experiment}
 	}
@@ -76,20 +107,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range ids {
-		out, err := study.Experiment(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-			os.Exit(1)
+
+	results, err := p.RunExperiments(context.Background(), ids, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
+		os.Exit(1)
+	}
+	var failed []core.ExperimentResult
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r)
+			continue
 		}
 		fmt.Println(strings.Repeat("=", 78))
-		fmt.Println(out)
+		fmt.Println(r.Output)
 		if *outDir != "" {
-			path := filepath.Join(*outDir, id+".txt")
-			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+			path := filepath.Join(*outDir, r.ID+".txt")
+			if err := os.WriteFile(path, []byte(r.Output+"\n"), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
 				os.Exit(1)
 			}
 		}
+	}
+	if reg != nil {
+		stages := p.Graph().Stats()
+		fmt.Fprintf(os.Stderr, "artifact graph (%d stages):\n", len(stages))
+		for _, st := range stages {
+			fmt.Fprintf(os.Stderr, "  %-18s computes=%d hits=%d\n", st.Name, st.Computes, st.Hits)
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "metrics snapshot:")
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "harassrepro: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "harassrepro: %d experiment(s) failed:\n", len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.ID, r.Err)
+		}
+		os.Exit(1)
 	}
 }

@@ -53,11 +53,52 @@ type Study struct {
 
 // Run generates the corpora and executes both filtering pipelines.
 func Run(cfg Config) (*Study, error) {
-	p, err := core.Run(cfg)
+	return RunWithOptions(cfg, StudyOptions{})
+}
+
+// StudyOptions tune how a run is scheduled; the zero value reproduces
+// Run's defaults. Outputs are identical at every setting — the pipeline
+// is built on a memoized artifact graph whose stages derive randomness
+// from pure per-stage rng splits, so concurrency never changes results.
+type StudyOptions struct {
+	// Workers bounds the worker pool for pipeline-stage scheduling.
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RunWithOptions is Run with scheduling options.
+func RunWithOptions(cfg Config, opts StudyOptions) (*Study, error) {
+	p, err := core.RunWithOptions(cfg, core.Options{Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
 	return &Study{pipe: p}, nil
+}
+
+// ExperimentResult is one experiment's outcome from Experiments.
+type ExperimentResult struct {
+	ID     string
+	Title  string
+	Output string // rendered title + body, as Experiment returns
+	Err    error  // non-nil when this experiment failed; others still ran
+}
+
+// Experiments reproduces the named paper artifacts (all of them when
+// ids is empty) concurrently on a bounded pool, sharing memoized
+// intermediates. A failing experiment is isolated and reported in its
+// result's Err; the rest still run. Results are in input order and
+// byte-identical to sequential Experiment calls. The returned error is
+// non-nil only for run-level failures (context cancellation).
+func (s *Study) Experiments(ctx context.Context, ids []string, workers int) ([]ExperimentResult, error) {
+	res, err := s.pipe.RunExperiments(ctx, ids, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExperimentResult, len(res))
+	for i, r := range res {
+		out[i] = ExperimentResult{ID: r.ID, Title: r.Title, Output: r.Output, Err: r.Err}
+	}
+	return out, nil
 }
 
 // ExperimentIDs lists the reproducible paper artifacts in paper order

@@ -185,9 +185,11 @@ func (p *Pipeline) CombinedTrainingAblation() (string, error) {
 		splits[plat] = s
 	}
 
+	// Concatenate in platform order: SGD is order-sensitive, so map
+	// iteration here would make the combined model nondeterministic.
 	var combined []model.Example
-	for _, s := range splits {
-		combined = append(combined, s.train...)
+	for _, plat := range plats {
+		combined = append(combined, splits[plat].train...)
 	}
 	cfg := model.LogRegConfig{Buckets: p.Config.Buckets, Epochs: p.Config.Epochs, Seed: p.Config.Seed ^ 0xab2, ClassWeightPositive: 3}
 	combinedModel, err := model.TrainLogReg(combined, cfg)

@@ -8,12 +8,15 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sort"
+	"sync"
 
 	"harassrepro/internal/annotate"
 	"harassrepro/internal/corpus"
 	"harassrepro/internal/features"
+	"harassrepro/internal/graph"
 	"harassrepro/internal/model"
 	"harassrepro/internal/randx"
 	"harassrepro/internal/tokenize"
@@ -180,39 +183,48 @@ type Pipeline struct {
 	CTH *TaskRun
 
 	rng *randx.Source
+	// scorers pools tokenize/featurize scratch for vectorize; safe for
+	// concurrent use once Tokenizer and Hasher are set.
+	scorers sync.Pool
+	// g is the run's memoized artifact graph (artifacts.go); opts are
+	// the scheduling options the run was started with.
+	g    *graph.Graph
+	opts Options
 }
 
-// Run executes the full reproduction pipeline.
+// Run executes the full reproduction pipeline with default options.
 func Run(cfg Config) (*Pipeline, error) {
+	return RunWithOptions(cfg, Options{})
+}
+
+// RunWithOptions executes the full reproduction pipeline on the
+// artifact graph: every stage is computed exactly once, independent
+// stages are scheduled concurrently on a bounded pool, and outputs are
+// byte-identical to the sequential monolith for a given seed/config
+// (each stage owns a pure rng split keyed by its name).
+func RunWithOptions(cfg Config, opts Options) (*Pipeline, error) {
 	cfg.fillDefaults()
 	p := &Pipeline{
 		Config: cfg,
 		rng:    randx.New(cfg.Seed).Split("core"),
+		opts:   opts,
 	}
+	p.initGraph(opts)
 
-	// Step 1 (Figure 1): raw data sets.
-	p.Gen = corpus.NewGenerator(corpus.Config{
-		Seed:          cfg.Seed,
-		VolumeScale:   cfg.VolumeScale,
-		PositiveScale: cfg.PositiveScale,
-	})
-	p.Corpora = p.Gen.Generate()
-	p.Blogs = p.Gen.GenerateBlogs(corpus.DefaultBlogSpecs(cfg.BlogScale))
-
-	// Shared text stack: WordPiece vocabulary trained on a corpus
-	// sample, hashed n-gram features.
-	p.trainTokenizer()
-	p.Hasher = features.NewHasher(features.HasherConfig{Buckets: cfg.Buckets, Bigrams: true})
-
-	// Steps 2-7 per task.
-	var err error
-	p.Dox, err = p.runTask(annotate.TaskDox)
-	if err != nil {
-		return nil, fmt.Errorf("dox pipeline: %w", err)
-	}
-	p.CTH, err = p.runTask(annotate.TaskCTH)
-	if err != nil {
-		return nil, fmt.Errorf("cth pipeline: %w", err)
+	// Materialize the run's terminal stages; the graph pulls in their
+	// dependencies (corpora, tokenizer, hasher) exactly once each.
+	if err := p.g.Prefetch(context.Background(), StageBlogs, StageTaskDox, StageTaskCTH); err != nil {
+		var ge *graph.Errors
+		if errors.As(err, &ge) {
+			// Preserve the monolith's error shape: report the first
+			// failing stage's wrapped error in a stable order.
+			for _, name := range []string{StageCorpora, StageBlogs, StageTokenizer, StageHasher, StageTaskDox, StageTaskCTH} {
+				if ferr, ok := ge.Failed[name]; ok {
+					return nil, ferr
+				}
+			}
+		}
+		return nil, err
 	}
 	return p, nil
 }
@@ -242,18 +254,23 @@ func (p *Pipeline) trainTokenizer() {
 
 // vectorize converts document text to the model input vector at the
 // given span length: tokens are reduced with the paper's
-// random-no-overlap strategy and the spans' features are pooled.
+// random-no-overlap strategy and the spans' features are pooled. It
+// runs on pooled scratch (bit-identical to the legacy tokenizer/hasher
+// composition — see fastpath_test.go) and returns an owned vector,
+// since callers store vectors in training examples that outlive the
+// scratch.
 func (p *Pipeline) vectorize(text string, maxLen int, rng *randx.Source) features.Vector {
-	toks := p.Tokenizer.Tokenize(text)
-	spans := tokenize.Spans(toks, maxLen, 2, tokenize.SpanRandomNoOverlap, rng)
-	if len(spans) == 1 {
-		return p.Hasher.Vectorize(spans[0])
+	sc, _ := p.scorers.Get().(*scorer)
+	if sc == nil {
+		sc = &scorer{sess: p.Tokenizer.NewSession(), feat: p.Hasher.NewFeaturizer()}
 	}
-	var merged []string
-	for _, s := range spans {
-		merged = append(merged, s...)
+	v := sc.featurize(sc.sess.Tokenize(text), maxLen, rng)
+	out := features.Vector{
+		Indices: append([]uint32(nil), v.Indices...),
+		Values:  append([]float64(nil), v.Values...),
 	}
-	return p.Hasher.Vectorize(merged)
+	p.scorers.Put(sc)
+	return out
 }
 
 // taskPlatforms returns the platforms a task covers: the CTH task

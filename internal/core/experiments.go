@@ -177,9 +177,10 @@ func (p *Pipeline) Table4() (string, error) {
 	return t.String() + "* every document above the threshold was annotated\n", nil
 }
 
-// codedCTH codes the annotated CTH positives with the taxonomy
-// categorizer, grouped per Table 5 column.
-func (p *Pipeline) codedCTH() map[string][]taxonomy.Label {
+// computeCodedCTH codes the annotated CTH positives with the taxonomy
+// categorizer, grouped per Table 5 column. Compute body for the
+// coded-cth artifact; use the codedCTH accessor (artifacts.go).
+func (p *Pipeline) computeCodedCTH() map[string][]taxonomy.Label {
 	cat := taxonomy.NewCategorizer()
 	out := map[string][]taxonomy.Label{}
 	for plat, r := range p.CTH.Results {
@@ -284,9 +285,10 @@ func (p *Pipeline) Table10() (string, error) {
 	return t.String(), nil
 }
 
-// doxPIIByColumn extracts PII from the annotated dox positives per
-// Table 6 column.
-func (p *Pipeline) doxPIIByColumn() (map[string][][]pii.Type, map[string][]*corpus.Document) {
+// computeDoxPIIByColumn extracts PII from the annotated dox positives
+// per Table 6 column. Compute body for the dox-pii artifact; use the
+// doxPIIByColumn accessor (artifacts.go).
+func (p *Pipeline) computeDoxPIIByColumn() doxPII {
 	ex := pii.NewExtractor()
 	types := map[string][][]pii.Type{}
 	docs := map[string][]*corpus.Document{}
@@ -300,7 +302,7 @@ func (p *Pipeline) doxPIIByColumn() (map[string][][]pii.Type, map[string][]*corp
 			docs[col] = append(docs[col], d)
 		}
 	}
-	return types, docs
+	return doxPII{types: types, docs: docs}
 }
 
 // Table6 reports PII prevalence in doxes per data set.
@@ -451,10 +453,11 @@ func (p *Pipeline) Figure4() (string, error) {
 	return b.String(), nil
 }
 
-// boardPosts adapts the boards corpus to the thread-analysis model,
-// using the classifier-above-threshold positives (as §6.3 does) for CTH
-// and dox flags.
-func (p *Pipeline) boardPosts() []threads.Post {
+// computeBoardPosts adapts the boards corpus to the thread-analysis
+// model, using the classifier-above-threshold positives (as §6.3 does)
+// for CTH and dox flags. Compute body for the board-posts artifact; use
+// the boardPosts accessor (artifacts.go).
+func (p *Pipeline) computeBoardPosts() []threads.Post {
 	cat := taxonomy.NewCategorizer()
 	cthIDs := map[string]bool{}
 	for _, d := range p.CTH.Results[corpus.PlatformBoards].Positives {
@@ -577,11 +580,12 @@ func (p *Pipeline) Figure6() (string, error) {
 	return out + tt.String(), nil
 }
 
-// aboveThresholdBoardPosts adapts the boards corpus to the thread model
-// using the complete above-threshold sets for CTH/dox flags — §6.3's
-// overlap analysis explicitly uses "all calls to harassment and doxes
-// above the threshold", not the smaller annotated sets.
-func (p *Pipeline) aboveThresholdBoardPosts() []threads.Post {
+// computeAboveThresholdBoardPosts adapts the boards corpus to the
+// thread model using the complete above-threshold sets for CTH/dox
+// flags — §6.3's overlap analysis explicitly uses "all calls to
+// harassment and doxes above the threshold", not the smaller annotated
+// sets. Compute body for the above-board-posts artifact.
+func (p *Pipeline) computeAboveThresholdBoardPosts() []threads.Post {
 	cthIDs := map[string]bool{}
 	for _, d := range p.CTH.Results[corpus.PlatformBoards].Above {
 		cthIDs[d.ID] = true
@@ -662,9 +666,10 @@ func (p *Pipeline) CoOccurrenceReport() (string, error) {
 	return b.String(), nil
 }
 
-// RepeatedDoxStats links the complete above-threshold dox sets by shared
-// OSN PII (§7.3).
-func (p *Pipeline) RepeatedDoxStats() repeatdox.Stats {
+// computeRepeatedDoxStats links the complete above-threshold dox sets
+// by shared OSN PII (§7.3). Compute body for the repeat-dox artifact;
+// use the RepeatedDoxStats accessor (artifacts.go).
+func (p *Pipeline) computeRepeatedDoxStats() repeatdox.Stats {
 	ex := pii.NewExtractor()
 	var records []repeatdox.Record
 	var plats []string

@@ -50,6 +50,12 @@ func (d *Detector) vectorizeWith(sc *scorer, text string, maxLen int, rng *randx
 // without consuming rng); longer documents keep the exact legacy
 // chunk-shuffle-merge sequence so span sampling stays bit-reproducible.
 func (d *Detector) featurizeToks(sc *scorer, toks []string, maxLen int, rng *randx.Source) features.Vector {
+	return sc.featurize(toks, maxLen, rng)
+}
+
+// featurize is featurizeToks on the scorer's own scratch, shared by the
+// detector's streaming path and the pipeline's pooled vectorize.
+func (sc *scorer) featurize(toks []string, maxLen int, rng *randx.Source) features.Vector {
 	if len(toks) <= maxLen {
 		return sc.feat.Vectorize(toks)
 	}

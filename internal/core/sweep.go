@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"harassrepro/internal/report"
@@ -90,19 +91,11 @@ func (p *Pipeline) CollectMetrics() SweepMetrics {
 }
 
 // RunSweep executes the pipeline once per seed (all other configuration
-// shared) and returns the per-seed metrics.
+// shared) and returns the per-seed metrics in seed order. It is the
+// sequential (workers=1) form of RunSweepParallel; per-seed outputs are
+// identical at any worker count.
 func RunSweep(base Config, seeds []uint64) ([]SweepMetrics, error) {
-	var out []SweepMetrics
-	for _, seed := range seeds {
-		cfg := base
-		cfg.Seed = seed
-		p, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep seed %d: %w", seed, err)
-		}
-		out = append(out, p.CollectMetrics())
-	}
-	return out, nil
+	return RunSweepParallel(context.Background(), base, seeds, 1)
 }
 
 // RenderSweep formats per-seed metrics with mean and standard deviation

@@ -8,7 +8,6 @@ package tokenize
 
 import (
 	"sort"
-	"strings"
 	"unicode/utf8"
 
 	"harassrepro/internal/randx"
@@ -125,123 +124,6 @@ func (c *TrainerConfig) fillDefaults() {
 	if c.MaxWordLength <= 0 {
 		c.MaxWordLength = 64
 	}
-}
-
-// Train learns a WordPiece vocabulary from the corpus using the standard
-// likelihood-score merge rule: at each step the pair (a, b) maximising
-// freq(ab) / (freq(a) * freq(b)) is merged, provided freq(ab) meets the
-// minimum pair frequency. Words are pre-split with BasicTokenize.
-func Train(corpus []string, cfg TrainerConfig) *Vocab {
-	cfg.fillDefaults()
-
-	// Word frequency table over the corpus.
-	wordFreq := map[string]int{}
-	for _, doc := range corpus {
-		for _, w := range BasicTokenize(doc) {
-			if len(w) > cfg.MaxWordLength {
-				w = w[:cfg.MaxWordLength]
-			}
-			wordFreq[w]++
-		}
-	}
-
-	// Each word starts segmented into characters, with continuation
-	// markers on all but the first.
-	type segWord struct {
-		pieces []string
-		freq   int
-	}
-	words := make([]segWord, 0, len(wordFreq))
-	// Deterministic iteration order.
-	sortedWords := make([]string, 0, len(wordFreq))
-	for w := range wordFreq {
-		sortedWords = append(sortedWords, w)
-	}
-	sort.Strings(sortedWords)
-
-	pieceFreq := map[string]int{}
-	for _, w := range sortedWords {
-		runes := []rune(w)
-		pieces := make([]string, len(runes))
-		for i, r := range runes {
-			p := string(r)
-			if i > 0 {
-				p = ContinuationPrefix + p
-			}
-			pieces[i] = p
-		}
-		words = append(words, segWord{pieces: pieces, freq: wordFreq[w]})
-		for _, p := range pieces {
-			pieceFreq[p] += wordFreq[w]
-		}
-	}
-
-	for len(pieceFreq) < cfg.VocabSize {
-		// Count adjacent pairs.
-		type pair struct{ a, b string }
-		pairFreq := map[pair]int{}
-		for _, w := range words {
-			for i := 0; i+1 < len(w.pieces); i++ {
-				pairFreq[pair{w.pieces[i], w.pieces[i+1]}] += w.freq
-			}
-		}
-		// Pick the best-scoring pair deterministically.
-		var best pair
-		bestScore := -1.0
-		found := false
-		keys := make([]pair, 0, len(pairFreq))
-		for p := range pairFreq {
-			keys = append(keys, p)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].a != keys[j].a {
-				return keys[i].a < keys[j].a
-			}
-			return keys[i].b < keys[j].b
-		})
-		for _, p := range keys {
-			f := pairFreq[p]
-			if f < cfg.MinPairFrequency {
-				continue
-			}
-			score := float64(f) / (float64(pieceFreq[p.a]) * float64(pieceFreq[p.b]))
-			if score > bestScore {
-				bestScore = score
-				best = p
-				found = true
-			}
-		}
-		if !found {
-			break
-		}
-		merged := best.a + strings.TrimPrefix(best.b, ContinuationPrefix)
-		// Apply the merge to every word.
-		for wi := range words {
-			w := &words[wi]
-			for i := 0; i+1 < len(w.pieces); i++ {
-				if w.pieces[i] == best.a && w.pieces[i+1] == best.b {
-					pieceFreq[best.a] -= w.freq
-					pieceFreq[best.b] -= w.freq
-					pieceFreq[merged] += w.freq
-					w.pieces[i] = merged
-					w.pieces = append(w.pieces[:i+1], w.pieces[i+2:]...)
-					i--
-				}
-			}
-		}
-		if _, ok := pieceFreq[merged]; !ok {
-			// The merge applied nowhere (stale pair); avoid looping forever.
-			break
-		}
-	}
-
-	pieces := make([]string, 0, len(pieceFreq))
-	for p, f := range pieceFreq {
-		if f > 0 {
-			pieces = append(pieces, p)
-		}
-	}
-	return NewVocab(pieces)
 }
 
 // Tokenizer segments text into word pieces with a trained vocabulary

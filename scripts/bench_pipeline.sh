@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Times `harassrepro -scale quick -experiment all` before/after the
+# artifact-graph memoization (the "before" is the graph's NoMemo mode,
+# which recomputes derived artifacts per caller like the old monolith)
+# and records wall times plus per-stage cache-hit counts in
+# BENCH_pipeline.json at the repo root.
+#
+# Usage: scripts/bench_pipeline.sh [-seed N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchpipeline -out BENCH_pipeline.json "$@"

@@ -40,6 +40,13 @@ if [[ $fast -eq 0 ]]; then
   # timing claims) so bench rot is caught here, not at release time.
   echo "== benchmark smoke (-benchtime=1x)"
   go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+  # Pipeline timing: quick-scale `-experiment all` with derived
+  # artifacts recomputed per caller (pre-graph monolith shape) vs the
+  # memoized artifact graph; wall times and per-stage cache-hit counts
+  # land in BENCH_pipeline.json.
+  echo "== pipeline benchmark (BENCH_pipeline.json)"
+  scripts/bench_pipeline.sh
 fi
 
 echo "OK"
