@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"harassrepro"
 	"harassrepro/internal/obs"
@@ -50,10 +51,22 @@ type row struct {
 	PII       []string
 }
 
+// metricsSrv is the -metrics-addr endpoint; exit drains it on every
+// exit path (fail included) so an in-flight scrape is never hard-reset.
+var metricsSrv *obshttp.Server
+
+// exit drains the metrics server, then terminates with code.
+func exit(code int) {
+	if metricsSrv != nil {
+		metricsSrv.CloseTimeout(2 * time.Second) //nolint:errcheck // best-effort drain on exit
+	}
+	os.Exit(code)
+}
+
 // fail prints a one-line diagnostic and exits non-zero.
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "cthdetect: "+format+"\n", args...)
-	os.Exit(1)
+	exit(1)
 }
 
 func main() {
@@ -82,12 +95,12 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	if *metricsAddr != "" {
-		ln, err := obshttp.Serve(*metricsAddr, reg)
+		srv, err := obshttp.Serve(*metricsAddr, reg)
 		if err != nil {
 			fail("metrics server: %v", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	type scorer interface {
@@ -246,6 +259,7 @@ func main() {
 	if err := <-scanErr; err != nil {
 		fail("reading stdin: %v", err)
 	}
+	exit(0)
 }
 
 // chMutex is a channel-based optional mutex: the zero value (nil) is a

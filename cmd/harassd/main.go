@@ -1,0 +1,142 @@
+// Command harassd is the production scoring service: the paper's
+// filtering classifiers (call-to-harassment, doxing), PII extraction
+// and attack-taxonomy coding served over HTTP, the way platforms
+// consume moderation classifiers as an online endpoint.
+//
+// Endpoints:
+//
+//	POST /v1/score        score one document: {"id","platform","text"}
+//	POST /v1/score/batch  JSONL (lenient; bad lines quarantined and
+//	                      reported per line) or a JSON array
+//	GET  /healthz         process liveness
+//	GET  /readyz          admission readiness (503 while draining)
+//	GET  /metrics         Prometheus text format (same mux)
+//	GET  /metrics.json    JSON metrics snapshot
+//	GET  /debug/pprof/*   live profiling
+//
+// Every request — single score or batch — coalesces onto one shared
+// bounded scoring pool over the detector's pooled zero-allocation
+// scorers. Overload is shed with 429 + Retry-After (bounded in-flight
+// requests and queue depth, never an unbounded goroutine pile-up), and
+// SIGINT/SIGTERM triggers a graceful drain: stop admitting, finish
+// every accepted request, then exit 0.
+//
+// With -models the classifiers are loaded from a directory written by
+// `harassrepro -save-models`; otherwise they are trained at startup by
+// running the pipeline at -scale.
+//
+// Usage:
+//
+//	harassd [-addr :8712] [-models DIR] [-scale quick|default] [-seed N]
+//	        [-workers N] [-max-inflight N] [-queue-depth N]
+//	        [-max-batch-docs N] [-request-timeout D] [-drain-timeout D]
+//	        [-no-annotate] [-metrics]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/serve"
+)
+
+// fail prints a one-line diagnostic and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harassd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8712", "listen address (\":0\" picks a free port)")
+		models         = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
+		scale          = flag.String("scale", "quick", "training corpus scale when -models is unset: quick or default")
+		seed           = flag.Uint64("seed", 1, "training and span-sampling seed")
+		workers        = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		maxInFlight    = flag.Int("max-inflight", 256, "maximum concurrently admitted score requests")
+		queueDepth     = flag.Int("queue-depth", 1024, "maximum admitted-but-unscored documents across all requests")
+		maxBatchDocs   = flag.Int("max-batch-docs", 4096, "maximum documents in one batch request")
+		maxBodyBytes   = flag.Int64("max-body-bytes", 32<<20, "maximum request body size")
+		maxLineBytes   = flag.Int("max-line-bytes", 1<<20, "maximum JSONL line length in a batch body")
+		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request scoring deadline")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGINT/SIGTERM")
+		noAnnotate     = flag.Bool("no-annotate", false, "skip the PII and taxonomy annotation stages")
+		metrics        = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr on exit")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+
+	var det *core.Detector
+	if *models != "" {
+		d, err := core.LoadDetector(*models)
+		if err != nil {
+			fail("%v", err)
+		}
+		det = d
+		fmt.Fprintf(os.Stderr, "harassd: loaded classifiers from %s\n", *models)
+	} else {
+		var cfg core.Config
+		switch *scale {
+		case "quick":
+			cfg = core.QuickConfig(*seed)
+		case "default":
+			cfg = core.DefaultConfig(*seed)
+		default:
+			fail("unknown scale %q (want quick or default)", *scale)
+		}
+		fmt.Fprintf(os.Stderr, "harassd: training filtering classifiers (seed %d, scale %s)...\n", *seed, *scale)
+		t0 := time.Now()
+		p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers})
+		if err != nil {
+			fail("training: %v", err)
+		}
+		det = p.Detector()
+		fmt.Fprintf(os.Stderr, "harassd: classifiers ready in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	srv := serve.New(serve.Config{
+		Backend:        det,
+		Workers:        *workers,
+		Seed:           *seed,
+		Annotate:       !*noAnnotate,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		MaxBatchDocs:   *maxBatchDocs,
+		MaxBodyBytes:   *maxBodyBytes,
+		MaxLineBytes:   *maxLineBytes,
+		RequestTimeout: *requestTimeout,
+		Metrics:        reg,
+	})
+	if err := srv.Start(*addr); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "harassd: listening on http://%s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Fprintf(os.Stderr, "harassd: draining (bound %v)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "metrics snapshot:")
+		if werr := reg.WriteJSON(os.Stderr); werr != nil {
+			fail("writing metrics: %v", werr)
+		}
+	}
+	if err != nil {
+		fail("drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "harassd: drained cleanly")
+}

@@ -34,6 +34,25 @@ import (
 	"harassrepro/internal/obs/obshttp"
 )
 
+// metricsSrv is the -metrics-addr endpoint; exit drains it on every
+// exit path (fatalf included) so an in-flight scrape is never
+// hard-reset when the run ends or an experiment fails.
+var metricsSrv *obshttp.Server
+
+// exit drains the metrics server, then terminates with code.
+func exit(code int) {
+	if metricsSrv != nil {
+		metricsSrv.CloseTimeout(2 * time.Second) //nolint:errcheck // best-effort drain on exit
+	}
+	os.Exit(code)
+}
+
+// fatalf prints a one-line diagnostic and exits non-zero.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harassrepro: "+format+"\n", args...)
+	exit(1)
+}
+
 func main() {
 	var (
 		seed        = flag.Uint64("seed", 1, "random seed for the reproduction")
@@ -63,7 +82,7 @@ func main() {
 		cfg = core.DefaultConfig(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "harassrepro: unknown scale %q (want quick or default)\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 
 	var reg *obs.Registry
@@ -71,28 +90,25 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	if *metricsAddr != "" {
-		ln, err := obshttp.Serve(*metricsAddr, reg)
+		srv, err := obshttp.Serve(*metricsAddr, reg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "harassrepro: metrics server: %v\n", err)
-			os.Exit(1)
+			fatalf("metrics server: %v", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	fmt.Fprintf(os.Stderr, "running pipeline (seed %d, scale %s)...\n", *seed, *scale)
 	start := time.Now()
 	p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers, Metrics: reg})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	if *saveModels != "" {
 		if err := p.SaveModels(*saveModels); err != nil {
-			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "saved classifiers to %s\n", *saveModels)
 	}
@@ -103,15 +119,13 @@ func main() {
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 	}
 
 	results, err := p.RunExperiments(context.Background(), ids, *workers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	var failed []core.ExperimentResult
 	for _, r := range results {
@@ -124,8 +138,7 @@ func main() {
 		if *outDir != "" {
 			path := filepath.Join(*outDir, r.ID+".txt")
 			if err := os.WriteFile(path, []byte(r.Output+"\n"), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "harassrepro: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
 		}
 	}
@@ -139,8 +152,7 @@ func main() {
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "metrics snapshot:")
 		if err := reg.WriteJSON(os.Stderr); err != nil {
-			fmt.Fprintf(os.Stderr, "harassrepro: writing metrics: %v\n", err)
-			os.Exit(1)
+			fatalf("writing metrics: %v", err)
 		}
 	}
 	if len(failed) > 0 {
@@ -148,6 +160,7 @@ func main() {
 		for _, r := range failed {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.ID, r.Err)
 		}
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -1,0 +1,196 @@
+// Command loadgen drives a running harassd with concurrent scoring
+// clients and reports throughput and latency percentiles as JSON — the
+// load half of scripts/bench_serve.sh.
+//
+// Each client loops for -duration POSTing single-document score
+// requests (and, every -batch-every requests when set, a JSONL batch of
+// -batch-docs documents) drawn from a built-in rotation of harassing,
+// doxing and benign texts. 429 responses are counted as shed, not
+// errors: shedding under overload is the service behaving as designed.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8712 [-clients 64] [-duration 10s]
+//	        [-batch-every 0] [-batch-docs 16] [-out FILE]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sampleTexts rotates through the content classes the detector
+// distinguishes so scoring work resembles real traffic rather than one
+// cached document.
+var sampleTexts = []string{
+	"we should mass report his channel until it gets banned",
+	"dropping her address 99 cedar lane and her email jane.roe@example.com",
+	"anyone up for ranked tonight, the patch notes are out",
+	"everyone go spam his twitch chat right now",
+	"found his phone number 555-0147, do what you want with it",
+	"the weather in the city has been unusually warm this week",
+	"raid her stream at 8pm, bring everyone from the server",
+	"post his workplace and boss's email so people can complain",
+	"just finished reading a great book about distributed systems",
+	"keep reporting her videos until the account is gone",
+}
+
+var samplePlatforms = []string{"boards", "discord", "telegram", "gab", "pastes"}
+
+// result is one request's outcome.
+type result struct {
+	code    int
+	err     bool
+	latency time.Duration
+}
+
+// report is the JSON document loadgen emits.
+type report struct {
+	Addr          string  `json:"addr"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Shed429       int     `json:"shed_429"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"latency_p50_ms"`
+	P95Ms         float64 `json:"latency_p95_ms"`
+	P99Ms         float64 `json:"latency_p99_ms"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8712", "harassd address (host:port)")
+		clients    = flag.Int("clients", 64, "concurrent clients")
+		duration   = flag.Duration("duration", 10*time.Second, "load duration")
+		batchEvery = flag.Int("batch-every", 0, "send a batch request every N requests per client (0 = singles only)")
+		batchDocs  = flag.Int("batch-docs", 16, "documents per batch request")
+		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
+	)
+	flag.Parse()
+
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	httpc := &http.Client{Timeout: 1 * time.Minute}
+
+	var (
+		mu      sync.Mutex
+		results []result
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			local := make([]result, 0, 1024)
+			for n := 0; time.Now().Before(deadline); n++ {
+				var body []byte
+				url := base + "/v1/score"
+				if *batchEvery > 0 && n%*batchEvery == *batchEvery-1 {
+					url = base + "/v1/score/batch"
+					body = batchBody(client, n, *batchDocs)
+				} else {
+					body = singleBody(client, n)
+				}
+				t0 := time.Now()
+				resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					local = append(local, result{err: true, latency: lat})
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, result{code: resp.StatusCode, latency: lat})
+			}
+			mu.Lock()
+			results = append(results, local...)
+			mu.Unlock()
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, *addr, *clients, elapsed)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
+		os.Exit(1)
+	}
+}
+
+func singleBody(client, n int) []byte {
+	doc := map[string]string{
+		"id":       fmt.Sprintf("load-%d-%d", client, n),
+		"platform": samplePlatforms[(client+n)%len(samplePlatforms)],
+		"text":     sampleTexts[(client*7+n)%len(sampleTexts)],
+	}
+	b, _ := json.Marshal(doc)
+	return b
+}
+
+func batchBody(client, n, docs int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < docs; i++ {
+		buf.Write(singleBody(client, n*docs+i))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func summarize(results []result, addr string, clients int, elapsed time.Duration) report {
+	rep := report{
+		Addr:        addr,
+		Clients:     clients,
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(results),
+	}
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		switch {
+		case r.err:
+			rep.Errors++
+		case r.code == http.StatusOK:
+			rep.OK++
+			lats = append(lats, r.latency)
+		case r.code == http.StatusTooManyRequests:
+			rep.Shed429++
+		default:
+			rep.Errors++
+		}
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(lats)-1))
+			return float64(lats[idx].Microseconds()) / 1000
+		}
+		rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	}
+	return rep
+}

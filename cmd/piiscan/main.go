@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"harassrepro"
 	"harassrepro/internal/gender"
@@ -39,10 +40,22 @@ import (
 	"harassrepro/internal/resilience"
 )
 
+// metricsSrv is the -metrics-addr endpoint; exit drains it on every
+// exit path (fail included) so an in-flight scrape is never hard-reset.
+var metricsSrv *obshttp.Server
+
+// exit drains the metrics server, then terminates with code.
+func exit(code int) {
+	if metricsSrv != nil {
+		metricsSrv.CloseTimeout(2 * time.Second) //nolint:errcheck // best-effort drain on exit
+	}
+	os.Exit(code)
+}
+
 // fail prints a one-line diagnostic and exits non-zero.
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "piiscan: "+format+"\n", args...)
-	os.Exit(1)
+	exit(1)
 }
 
 func main() {
@@ -69,18 +82,18 @@ func main() {
 		extractor.SetMetrics(reg)
 	}
 	if *metricsAddr != "" {
-		ln, err := obshttp.Serve(*metricsAddr, reg)
+		srv, err := obshttp.Serve(*metricsAddr, reg)
 		if err != nil {
 			fail("metrics server: %v", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	if *stream {
 		runStream(*jsonOut, *workers, reg)
 		dumpMetrics(*metrics, reg)
-		return
+		exit(0)
 	}
 
 	data, err := io.ReadAll(os.Stdin)
@@ -89,6 +102,7 @@ func main() {
 	}
 	report(string(data), *jsonOut)
 	dumpMetrics(*metrics, reg)
+	exit(0)
 }
 
 // dumpMetrics prints the final snapshot to stderr behind the marker the

@@ -101,6 +101,38 @@ func (p *Pipeline) SaveModels(dir string) error {
 	return nil
 }
 
+// Detector builds the deployable detector directly from the trained
+// pipeline, without the SaveModels/LoadDetector disk round-trip —
+// what a serving process that trains at startup (cmd/harassd without
+// -models) uses. Scores are identical to a detector loaded from a
+// SaveModels directory of the same pipeline.
+func (p *Pipeline) Detector() *Detector {
+	meta := detectorMeta{
+		Version:       1,
+		Buckets:       p.Config.Buckets,
+		DoxTextLen:    p.Dox.TextLen,
+		CTHTextLen:    p.CTH.TextLen,
+		DoxThresholds: map[string]float64{},
+		CTHThresholds: map[string]float64{},
+	}
+	for plat, r := range p.Dox.Results {
+		meta.DoxThresholds[string(plat)] = r.Threshold
+	}
+	for plat, r := range p.CTH.Results {
+		meta.CTHThresholds[string(plat)] = r.Threshold
+	}
+	d := &Detector{
+		tok:    p.Tokenizer,
+		hasher: features.NewHasher(features.HasherConfig{Buckets: p.Config.Buckets, Bigrams: true}),
+		dox:    p.Dox.Model,
+		cth:    p.CTH.Model,
+		meta:   meta,
+		rng:    randx.New(1).Split("detector"),
+	}
+	d.initScorerPool()
+	return d
+}
+
 // Detector scores text with previously saved classifiers, without the
 // corpora or any pipeline state — the deployable artifact.
 type Detector struct {

@@ -53,6 +53,52 @@ func TestSaveModelsLoadDetector(t *testing.T) {
 	}
 }
 
+func TestPipelineDetectorMatchesSaveLoadRoundTrip(t *testing.T) {
+	// Pipeline.Detector() (the in-process construction harassd uses
+	// when training at startup) must be score-identical to a detector
+	// persisted with SaveModels and loaded back: same weights, same
+	// metadata, same span-sampling stream.
+	p := sharedPipeline(t)
+	direct := p.Detector()
+	dir := t.TempDir()
+	if err := p.SaveModels(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"we should mass report his channel",
+		"dropping her address 99 cedar lane and email jane.roe@example.com",
+		"anyone up for ranked tonight",
+	}
+	// Include a long document so the shared span-sampling stream is
+	// actually consumed, then a short one to catch stream divergence.
+	long := ""
+	for i := 0; i < 200; i++ {
+		long += "target lives at 12 oak street and posts every night "
+	}
+	texts = append(texts, long, "post his info everywhere")
+	for i, text := range texts {
+		if dc, lc := direct.ScoreCTH(text), loaded.ScoreCTH(text); dc != lc {
+			t.Errorf("doc %d: cth %v (direct) != %v (loaded)", i, dc, lc)
+		}
+		if dd, ld := direct.ScoreDox(text), loaded.ScoreDox(text); dd != ld {
+			t.Errorf("doc %d: dox %v (direct) != %v (loaded)", i, dd, ld)
+		}
+	}
+	if got, want := direct.Platforms(), loaded.Platforms(); len(got) != len(want) {
+		t.Errorf("platforms %v != %v", got, want)
+	}
+	for _, plat := range loaded.Platforms() {
+		if direct.DoxThreshold(plat) != loaded.DoxThreshold(plat) ||
+			direct.CTHThreshold(plat) != loaded.CTHThreshold(plat) {
+			t.Errorf("thresholds diverge for %s", plat)
+		}
+	}
+}
+
 func TestLoadDetectorErrors(t *testing.T) {
 	if _, err := LoadDetector(t.TempDir()); err == nil {
 		t.Error("empty directory should error")

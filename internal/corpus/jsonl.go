@@ -82,9 +82,11 @@ func ReadJSONLLenient(r io.Reader) ([]Document, []LineError, error) {
 }
 
 // ReadJSONLOpts is the option-driven form of ReadJSONL. In strict mode
-// (the default) the first bad line aborts the read and bad is nil; in
-// lenient mode every bad line is returned in bad and err reports only
-// I/O failures.
+// (the default) the first bad line aborts the read and bad is nil, but
+// the documents decoded before the failure are still returned alongside
+// the error — the same partial-progress contract the read-error path
+// honors. In lenient mode every bad line is returned in bad and err
+// reports only I/O failures.
 func ReadJSONLOpts(r io.Reader, opts JSONLOptions) (docs []Document, bad []LineError, err error) {
 	if opts.MaxLineBytes <= 0 {
 		opts.MaxLineBytes = 16 << 20
@@ -111,12 +113,12 @@ func ReadJSONLOpts(r io.Reader, opts JSONLOptions) (docs []Document, bad []LineE
 		switch {
 		case tooLong:
 			if ferr := fail(ErrLineTooLong, preview(raw)); ferr != nil {
-				return nil, nil, ferr
+				return docs, bad, ferr
 			}
 		case len(raw) > 0:
 			if d, derr := decodeJSONLLine(raw, line); derr != nil {
 				if ferr := fail(derr, preview(raw)); ferr != nil {
-					return nil, nil, ferr
+					return docs, bad, ferr
 				}
 			} else {
 				docs = append(docs, d)

@@ -188,6 +188,117 @@ func TestReadJSONLStrictUnchangedOnCleanInput(t *testing.T) {
 	}
 }
 
+func TestReadJSONLStrictReturnsPartialDocs(t *testing.T) {
+	// Strict mode aborts on the first bad line but must not discard the
+	// documents already parsed: the docs/bad/err contract matches the
+	// read-error path.
+	in := strings.Join([]string{
+		`{"text":"one"}`,
+		`{"text":"two"}`,
+		`{broken`,
+		`{"text":"never reached"}`,
+	}, "\n")
+	docs, bad, err := ReadJSONLOpts(strings.NewReader(in), JSONLOptions{})
+	if err == nil {
+		t.Fatal("strict mode should error on the bad line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3 named", err)
+	}
+	if bad != nil {
+		t.Errorf("strict mode bad = %v, want nil", bad)
+	}
+	if len(docs) != 2 || docs[0].Text != "one" || docs[1].Text != "two" {
+		t.Fatalf("partial docs = %+v, want the two parsed before the failure", docs)
+	}
+
+	// Same contract for an oversized line.
+	in = `{"text":"ok"}` + "\n" + `{"text":"` + strings.Repeat("x", 500) + `"}`
+	docs, _, err = ReadJSONLOpts(strings.NewReader(in), JSONLOptions{MaxLineBytes: 100})
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+	if len(docs) != 1 || docs[0].Text != "ok" {
+		t.Fatalf("partial docs on oversized line = %+v", docs)
+	}
+}
+
+func TestReadJSONLFinalLineCRLFVariants(t *testing.T) {
+	// A CRLF-terminated final line immediately before EOF has its CR
+	// stripped like any other line.
+	docs, err := ReadJSONL(strings.NewReader("{\"text\":\"a\"}\r\n{\"id\":\"last\",\"text\":\"b\"}\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[1].Text != "b" || docs[1].ID != "last" {
+		t.Fatalf("docs = %+v", docs)
+	}
+
+	// A final unterminated line carrying a bare trailing CR (CRLF file
+	// truncated between CR and LF) still parses: the CR lands after the
+	// closing brace, where the JSON decoder treats it as whitespace.
+	docs, err = ReadJSONL(strings.NewReader("{\"text\":\"a\"}\r\n{\"text\":\"b\"}\r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[1].Text != "b" {
+		t.Fatalf("docs = %+v", docs)
+	}
+}
+
+func TestReadJSONLOversizedFinalLineNoNewline(t *testing.T) {
+	// An oversized line immediately followed by EOF without a trailing
+	// newline must still be reported (with its line number), not dropped
+	// with the read loop's empty-final-read return.
+	in := `{"text":"ok"}` + "\n" + `{"text":"` + strings.Repeat("z", 300) + `"}`
+	docs, bad, err := ReadJSONLOpts(strings.NewReader(in), JSONLOptions{Lenient: true, MaxLineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Text != "ok" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if len(bad) != 1 || bad[0].Line != 2 || !errors.Is(bad[0], ErrLineTooLong) {
+		t.Fatalf("bad = %+v, want line 2 ErrLineTooLong", bad)
+	}
+
+	// Same input, oversized larger than the internal 64KiB read buffer,
+	// so the discard-to-end path crosses multiple fragments before EOF.
+	in = `{"text":"ok"}` + "\n" + `{"text":"` + strings.Repeat("z", 200<<10) + `"}`
+	docs, bad, err = ReadJSONLOpts(strings.NewReader(in), JSONLOptions{Lenient: true, MaxLineBytes: 96 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || len(bad) != 1 || bad[0].Line != 2 {
+		t.Fatalf("docs=%d bad=%+v, want 1 doc and line 2 quarantined", len(docs), bad)
+	}
+}
+
+func TestReadJSONLBlankLinesCountTowardLineNumbers(t *testing.T) {
+	// Blank lines are skipped but still consume a line number, so a bad
+	// line's reported position matches the editor's view of the file.
+	in := "{\"text\":\"one\"}\n\n\n{bad\n\n{\"text\":\"two\"}\n"
+	docs, bad, err := ReadJSONLLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if len(bad) != 1 || bad[0].Line != 4 {
+		t.Fatalf("bad = %+v, want line 4", bad)
+	}
+	if docs[1].ID != "jsonl-00000006" {
+		t.Errorf("doc 2 ID = %q, want derived from true line 6", docs[1].ID)
+	}
+
+	// Strict mode reports the same blank-adjusted number.
+	_, _, err = ReadJSONLOpts(strings.NewReader(in), JSONLOptions{})
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("strict err = %v, want line 4 named", err)
+	}
+}
+
 func TestReadJSONLErrors(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader(`not json`)); err == nil {
 		t.Error("malformed line should error")

@@ -1,15 +1,18 @@
 // Package obshttp exposes an obs.Registry over HTTP for the CLI tools'
-// -metrics-addr flag: GET /metrics serves the Prometheus text format,
-// GET /metrics.json the JSON snapshot, and the standard net/http/pprof
-// endpoints are mounted under /debug/pprof/ so a long scoring run can
-// be profiled in place. It lives in its own package so the metrics core
-// stays free of any net/http linkage.
+// -metrics-addr flag and the harassd scoring service: GET /metrics
+// serves the Prometheus text format, GET /metrics.json the JSON
+// snapshot, and the standard net/http/pprof endpoints are mounted under
+// /debug/pprof/ so a long scoring run can be profiled in place. It
+// lives in its own package so the metrics core stays free of any
+// net/http linkage.
 package obshttp
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"harassrepro/internal/obs"
 )
@@ -37,15 +40,74 @@ func Handler(reg *obs.Registry) http.Handler {
 	return mux
 }
 
-// Serve binds addr (":0" picks a free port) and serves Handler(reg) on
-// a background goroutine for the life of the process. The returned
-// listener reports the bound address; closing it stops the server.
-func Serve(addr string, reg *obs.Registry) (net.Listener, error) {
+// Server is a running metrics endpoint: Handler(reg) bound to a
+// listener and served on a background goroutine until Close. Unlike a
+// bare listener close, Close drains in-flight scrapes gracefully, so a
+// Prometheus poll racing process exit sees a complete response instead
+// of a reset connection.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine returns
+}
+
+// NewServer wraps h in an http.Server with the package's slowloris-safe
+// timeouts: a client must deliver its request header within 10s and the
+// whole request within 1m, responses (including long pprof profiles)
+// must complete within 5m, and idle keep-alive connections are reaped
+// after 2m. A long-lived process serving /metrics needs these bounds —
+// without them one stalled scrape connection is held forever.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Serve binds addr (":0" picks a free port) and serves Handler(reg) in
+// the background until Close.
+func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler is Serve with a caller-supplied handler (typically
+// Handler(reg) wrapped in extra routes).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns when ln closes
-	return ln, nil
+	s := &Server{ln: ln, srv: NewServer(h), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting connections and gracefully drains in-flight
+// requests, bounded by ctx: on expiry the remaining connections are
+// force-closed. It returns the shutdown error (nil when every in-flight
+// request completed). Safe to call more than once.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // force-close after deadline
+	}
+	<-s.done
+	return err
+}
+
+// CloseTimeout is Close with a fresh deadline of d, for exit paths that
+// have no context to hand.
+func (s *Server) CloseTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Close(ctx)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"harassrepro/internal/obs"
 )
@@ -68,12 +69,12 @@ func TestHandlerServesPromAndJSON(t *testing.T) {
 }
 
 func TestServeBindsEphemeralPort(t *testing.T) {
-	ln, err := Serve("127.0.0.1:0", testRegistry())
+	s, err := Serve("127.0.0.1:0", testRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	defer s.CloseTimeout(2 * time.Second)
+	resp, err := http.Get("http://" + s.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,5 +82,69 @@ func TestServeBindsEphemeralPort(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "pipeline_items_total") {
 		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+	if s.srv.ReadHeaderTimeout == 0 || s.srv.WriteTimeout == 0 {
+		t.Error("server is missing slowloris timeouts")
+	}
+}
+
+func TestCloseDrainsInFlightScrape(t *testing.T) {
+	// A scrape racing Close must receive its complete response: Close is
+	// a graceful drain, not a listener hard-abort.
+	reg := testRegistry()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		reg.WriteProm(w) //nolint:errcheck
+	}))
+	s, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr().String() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(body), err: err}
+	}()
+
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- s.CloseTimeout(5 * time.Second) }()
+	// Give Close a moment to begin shutting down, then let the handler
+	// finish writing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v, want clean drain", err)
+	}
+	sc := <-got
+	if sc.err != nil {
+		t.Fatalf("in-flight scrape aborted: %v", sc.err)
+	}
+	if !strings.Contains(sc.body, "pipeline_items_total") {
+		t.Errorf("drained scrape incomplete:\n%s", sc.body)
+	}
+
+	// Repeated Close is safe, and the port is released.
+	if err := s.CloseTimeout(time.Second); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr().String() + "/metrics"); err == nil {
+		t.Error("server still accepting after Close")
 	}
 }

@@ -1,0 +1,349 @@
+package serve
+
+// HTTP surface: request parsing, admission, and response assembly for
+// the scoring endpoints. Wire format notes:
+//
+//   POST /v1/score        {"id","platform","text"} -> ScoreResult
+//   POST /v1/score/batch  JSONL (one document per line, lenient: bad
+//                         lines are quarantined and reported, reusing
+//                         corpus.ReadJSONLOpts) or a JSON array of
+//                         score requests -> BatchResponse
+//   GET  /healthz         process liveness, always 200
+//   GET  /readyz          200 while admitting, 503 once draining
+//
+// Overload and drain semantics: 429 + Retry-After when the in-flight
+// or queue bound would be exceeded, 503 + Retry-After once Shutdown
+// has begun, 413 for bodies or batches over their limits, 504 when the
+// per-request deadline expires before scoring completes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/obs/obshttp"
+	"harassrepro/internal/resilience"
+)
+
+// ScoreRequest is one document to score.
+type ScoreRequest struct {
+	ID       string `json:"id,omitempty"`
+	Platform string `json:"platform,omitempty"`
+	Text     string `json:"text"`
+}
+
+// ScoreResult is one scored document.
+type ScoreResult struct {
+	ID string `json:"id,omitempty"`
+	// Status is "ok", "degraded" (an optional annotation stage failed;
+	// Degraded names it) or "quarantined" (scoring failed permanently;
+	// Error holds the cause and the scores are unset).
+	Status    string   `json:"status"`
+	CTH       float64  `json:"cth"`
+	Dox       float64  `json:"dox"`
+	PII       []string `json:"pii,omitempty"`
+	Attacks   []string `json:"attacks,omitempty"`
+	SeedQuery bool     `json:"seed_query"`
+	Degraded  []string `json:"degraded,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// BatchLineError is one rejected batch input: a malformed or oversized
+// JSONL line, or an array element with no text.
+type BatchLineError struct {
+	// Line is the 1-based JSONL line number, or the 1-based array
+	// index for JSON-array bodies.
+	Line    int    `json:"line"`
+	Error   string `json:"error"`
+	Preview string `json:"preview,omitempty"`
+}
+
+// BatchSummary aggregates a batch response.
+type BatchSummary struct {
+	Docs        int `json:"docs"`
+	OK          int `json:"ok"`
+	Degraded    int `json:"degraded"`
+	Quarantined int `json:"quarantined"`
+	BadLines    int `json:"bad_lines"`
+}
+
+// BatchResponse is the /v1/score/batch reply. Results preserve the
+// input order of the accepted documents.
+type BatchResponse struct {
+	Results     []ScoreResult    `json:"results"`
+	Quarantined []BatchLineError `json:"quarantined_lines,omitempty"`
+	Summary     BatchSummary     `json:"summary"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// routes registers the scoring endpoints and, with metrics configured,
+// the obshttp observability surface on the same mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/score/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	if s.cfg.Metrics != nil {
+		h := obshttp.Handler(s.cfg.Metrics)
+		s.mux.Handle("GET /metrics", h)
+		s.mux.Handle("GET /metrics.json", h)
+		s.mux.Handle("/debug/pprof/", h)
+	}
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request count and latency metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.m == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.m.observeRequest(route, sw.code, time.Since(t0))
+	}
+}
+
+// requestCtx layers the server's per-request deadline onto the
+// client's own context (cancelled when the client disconnects).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// readBody reads at most MaxBodyBytes; ok=false means the response has
+// been written.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds "+strconv.FormatInt(s.cfg.MaxBodyBytes, 10)+" bytes")
+		return nil, false
+	}
+	return body, true
+}
+
+// reject answers an unadmitted request: 503 while draining, 429 on
+// overload, both with a Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter, draining bool) {
+	retry := int(s.cfg.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.m.shedRequest()
+	writeError(w, http.StatusTooManyRequests, "server overloaded: retry later")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Stats().Draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ready\n") //nolint:errcheck
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req ScoreRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeError(w, http.StatusBadRequest, "missing text")
+		return
+	}
+	if ok, draining := s.admit(1); !ok {
+		s.reject(w, draining)
+		return
+	}
+	defer s.releaseRequest()
+
+	reply := make(chan resilience.Result[core.StreamDoc], 1)
+	s.enqueue([]core.StreamDoc{{Platform: req.Platform, Text: req.Text}}, []string{req.ID}, reply)
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	select {
+	case res := <-reply:
+		writeJSON(w, http.StatusOK, toScoreResult(res))
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before scoring completed")
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	docs, userIDs, quarantined, perr := s.parseBatch(body)
+	if perr != "" {
+		writeError(w, http.StatusBadRequest, perr)
+		return
+	}
+	if len(docs) > s.cfg.MaxBatchDocs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of "+strconv.Itoa(len(docs))+" documents exceeds limit "+strconv.Itoa(s.cfg.MaxBatchDocs))
+		return
+	}
+	if len(docs) == 0 && len(quarantined) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	resp := BatchResponse{
+		Results:     []ScoreResult{},
+		Quarantined: quarantined,
+		Summary:     BatchSummary{Docs: len(docs), BadLines: len(quarantined)},
+	}
+	if len(docs) == 0 {
+		// Nothing admissible: report the quarantined lines without
+		// charging the queue.
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if ok, draining := s.admit(len(docs)); !ok {
+		s.reject(w, draining)
+		return
+	}
+	defer s.releaseRequest()
+	s.m.observeBatch(len(docs))
+
+	reply := make(chan resilience.Result[core.StreamDoc], len(docs))
+	s.enqueue(docs, userIDs, reply)
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results := make([]ScoreResult, len(docs))
+	for received := 0; received < len(docs); received++ {
+		select {
+		case res := <-reply:
+			results[res.Index] = toScoreResult(res)
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded with "+
+				strconv.Itoa(len(docs)-received)+" of "+strconv.Itoa(len(docs))+" documents unscored")
+			return
+		}
+	}
+	resp.Results = results
+	for i := range results {
+		switch results[i].Status {
+		case resilience.StatusOK.String():
+			resp.Summary.OK++
+		case resilience.StatusDegraded.String():
+			resp.Summary.Degraded++
+		default:
+			resp.Summary.Quarantined++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseBatch decodes a batch body: a JSON array of score requests when
+// the payload starts with '[', otherwise lenient JSONL with per-line
+// quarantine (one JSON document per line — the cmd/corpusgen
+// interchange format). perr non-empty means the whole body is
+// unusable.
+func (s *Server) parseBatch(body []byte) (docs []core.StreamDoc, userIDs []string, quarantined []BatchLineError, perr string) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []ScoreRequest
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			return nil, nil, nil, "invalid JSON array: " + err.Error()
+		}
+		for i, req := range reqs {
+			if strings.TrimSpace(req.Text) == "" {
+				quarantined = append(quarantined, BatchLineError{Line: i + 1, Error: "missing text"})
+				continue
+			}
+			docs = append(docs, core.StreamDoc{Platform: req.Platform, Text: req.Text})
+			userIDs = append(userIDs, req.ID)
+		}
+		return docs, userIDs, quarantined, ""
+	}
+
+	parsed, bad, err := corpus.ReadJSONLOpts(bytes.NewReader(body),
+		corpus.JSONLOptions{Lenient: true, MaxLineBytes: s.cfg.MaxLineBytes})
+	if err != nil {
+		return nil, nil, nil, "reading JSONL body: " + err.Error()
+	}
+	for _, le := range bad {
+		quarantined = append(quarantined, BatchLineError{Line: le.Line, Error: le.Err.Error(), Preview: le.Preview})
+	}
+	for i := range parsed {
+		docs = append(docs, core.StreamDoc{Platform: string(parsed[i].Platform), Text: parsed[i].Text})
+		userIDs = append(userIDs, parsed[i].ID)
+	}
+	return docs, userIDs, quarantined, ""
+}
+
+// toScoreResult converts a stream result to the wire form.
+func toScoreResult(res resilience.Result[core.StreamDoc]) ScoreResult {
+	out := ScoreResult{
+		ID:        res.Item.ID,
+		Status:    res.Status.String(),
+		CTH:       res.Item.CTH,
+		Dox:       res.Item.Dox,
+		PII:       res.Item.PII,
+		Attacks:   res.Item.Attacks,
+		SeedQuery: res.Item.SeedQuery,
+		Degraded:  res.Degraded,
+	}
+	if res.Dead != nil {
+		out.Error = res.Dead.Err.Error()
+		out.CTH, out.Dox = 0, 0
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

@@ -1,0 +1,400 @@
+// Package serve is the production scoring service behind cmd/harassd:
+// a long-running HTTP surface over the detector's zero-allocation
+// scoring hot path. The paper's classifiers are exactly the kind of
+// moderation infrastructure platforms call as an online service (the
+// Perspective-API deployment model), and this package supplies the
+// serving discipline such a deployment needs:
+//
+//   - request coalescing: every request — single /v1/score call or a
+//     thousand-document batch — feeds one shared, long-lived
+//     resilience.Runner stream over the detector's pooled scorers, so
+//     concurrency is bounded by one worker pool no matter how many
+//     clients connect, and per-request work shares the same retry,
+//     panic-isolation and dead-letter machinery as offline scoring;
+//   - admission control: a bounded in-flight request count and a
+//     bounded scoring queue; overload is answered immediately with
+//     429 + Retry-After instead of an unbounded goroutine pile-up;
+//   - per-request deadlines propagated via context: a caller that
+//     gives up stops waiting, and its abandoned documents release
+//     their queue slots as they complete;
+//   - graceful drain: Shutdown stops admitting, finishes every
+//     accepted request, closes the scoring stream, and drains the
+//     HTTP listener, all bounded by the caller's context.
+//
+// The invariant that makes the hot path simple: queue admission
+// reserves one slot per document and cap(s.in) == QueueDepth, so at
+// most QueueDepth admitted documents exist anywhere between admission
+// and collection — a post-admission send on s.in can never block.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/obs/obshttp"
+	"harassrepro/internal/resilience"
+)
+
+// Backend scores a stream of documents. *core.Detector implements it
+// with the pooled zero-allocation scorers; tests substitute a fake with
+// controllable latency.
+type Backend interface {
+	ScoreStream(ctx context.Context, in <-chan core.StreamDoc, opts core.StreamOptions) <-chan resilience.Result[core.StreamDoc]
+}
+
+// Config configures a Server. The zero value of every limit picks a
+// production-safe default.
+type Config struct {
+	// Backend scores the documents. Required.
+	Backend Backend
+	// Workers bounds the shared scoring pool (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives the detector's deterministic span sampling.
+	Seed uint64
+	// Annotate adds the PII and taxonomy/seed-query stages to every
+	// scored document.
+	Annotate bool
+	// MaxInFlight bounds concurrently admitted score requests; excess
+	// requests are shed with 429. Default 256.
+	MaxInFlight int
+	// QueueDepth bounds documents admitted but not yet scored, across
+	// all requests. A request whose documents do not fit is shed with
+	// 429. Default 1024.
+	QueueDepth int
+	// MaxBatchDocs bounds one batch request; larger batches get 413.
+	// Default 4096 (clamped to QueueDepth, since a batch larger than
+	// the queue could never be admitted).
+	MaxBatchDocs int
+	// MaxBodyBytes bounds a request body. Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxLineBytes bounds one JSONL line in a batch body; longer lines
+	// are quarantined per corpus.ReadJSONLOpts. Default 1 MiB.
+	MaxLineBytes int
+	// RequestTimeout is the per-request deadline, layered onto the
+	// client's own context. Default 30s; negative disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Metrics, if set, receives the serving instruments (request/
+	// latency/queue-depth/batch-size) alongside the backend's scoring
+	// metrics, and mounts /metrics, /metrics.json and /debug/pprof/ on
+	// the server's own mux.
+	Metrics *obs.Registry
+}
+
+// withDefaults fills zero-valued limits.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatchDocs <= 0 {
+		c.MaxBatchDocs = 4096
+	}
+	if c.MaxBatchDocs > c.QueueDepth {
+		c.MaxBatchDocs = c.QueueDepth
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	switch {
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// errStopped is delivered to handlers whose documents were abandoned by
+// a deadline-expired shutdown.
+var errStopped = errors.New("serve: server stopped before the document was scored")
+
+// pendingDoc routes one in-flight document's result back to its
+// waiting request handler.
+type pendingDoc struct {
+	// userID is the caller-visible document ID, restored on delivery
+	// (the stream itself runs on server-assigned unique IDs).
+	userID string
+	// pos is the document's position within its request, delivered as
+	// Result.Index so batch handlers can reassemble input order.
+	pos int
+	// reply is the request's result channel, buffered for every
+	// document in the request: delivery never blocks the collector,
+	// even when the handler has already given up.
+	reply chan resilience.Result[core.StreamDoc]
+}
+
+// Server is the scoring service. Create with New, optionally bind with
+// Start, stop with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	m   *serverMetrics
+
+	// in feeds the single long-lived backend scoring stream; out is
+	// its result stream. cancel aborts the backend on forced shutdown.
+	in     chan core.StreamDoc
+	out    <-chan resilience.Result[core.StreamDoc]
+	cancel context.CancelFunc
+
+	nextID        atomic.Uint64
+	collectorDone chan struct{}
+	closeIn       sync.Once
+
+	mu       sync.Mutex
+	pending  map[string]pendingDoc
+	inflight int           // admitted score requests
+	queued   int           // admitted, not-yet-collected documents
+	draining bool          // no new admissions
+	drained  chan struct{} // closed when draining && inflight == 0
+
+	web *obshttp.Server // set by Start
+}
+
+// New builds the server and starts its shared scoring stream. The
+// returned server is immediately ready to handle requests (via Start
+// or Handler).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:           cfg,
+		cancel:        cancel,
+		m:             newServerMetrics(cfg.Metrics),
+		in:            make(chan core.StreamDoc, cfg.QueueDepth),
+		pending:       make(map[string]pendingDoc),
+		collectorDone: make(chan struct{}),
+	}
+	s.out = cfg.Backend.ScoreStream(ctx, s.in, core.StreamOptions{
+		Workers:  cfg.Workers,
+		Seed:     cfg.Seed,
+		Annotate: cfg.Annotate,
+		Metrics:  cfg.Metrics,
+	})
+	go s.collect()
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the server's mux: the scoring endpoints plus (with
+// Metrics set) /metrics, /metrics.json and /debug/pprof/.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (":0" picks a free port) and serves the handler in
+// the background with slowloris-safe timeouts until Shutdown.
+func (s *Server) Start(addr string) error {
+	web, err := obshttp.ServeHandler(addr, s.mux)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.web = web
+	return nil
+}
+
+// Addr reports the bound address after Start.
+func (s *Server) Addr() net.Addr {
+	if s.web == nil {
+		return nil
+	}
+	return s.web.Addr()
+}
+
+// Stats is a point-in-time view of the admission state.
+type Stats struct {
+	// InFlight is the number of admitted score requests being served.
+	InFlight int
+	// Queued is the number of admitted documents not yet scored.
+	Queued int
+	// Draining reports whether Shutdown has begun.
+	Draining bool
+}
+
+// Stats returns the current admission state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{InFlight: s.inflight, Queued: s.queued, Draining: s.draining}
+}
+
+// admit reserves one request slot and n document queue slots.
+// draining=true means the server is shutting down (503); ok=false with
+// draining=false means overload (429).
+func (s *Server) admit(n int) (ok, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, true
+	}
+	if s.inflight >= s.cfg.MaxInFlight || s.queued+n > s.cfg.QueueDepth {
+		return false, false
+	}
+	s.inflight++
+	s.queued += n
+	s.m.setInFlight(s.inflight)
+	s.m.setQueue(s.queued)
+	return true, false
+}
+
+// releaseRequest returns an admitted request's slot and wakes a
+// drain-waiter once the last one finishes. Document slots are released
+// by the collector as results arrive, not here: an abandoned document
+// still occupies the queue until the pool has actually scored it.
+func (s *Server) releaseRequest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	s.m.setInFlight(s.inflight)
+	if s.draining && s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// enqueue registers docs under fresh internal IDs and feeds them to the
+// shared scoring stream. userIDs and positions are restored on
+// delivery. Admission already holds one queue slot per document and
+// cap(s.in) == QueueDepth, so the sends cannot block.
+func (s *Server) enqueue(docs []core.StreamDoc, userIDs []string, reply chan resilience.Result[core.StreamDoc]) {
+	s.mu.Lock()
+	for i := range docs {
+		id := fmt.Sprintf("serve-%d", s.nextID.Add(1))
+		s.pending[id] = pendingDoc{userID: userIDs[i], pos: i, reply: reply}
+		docs[i].ID = id
+	}
+	s.mu.Unlock()
+	for i := range docs {
+		s.in <- docs[i]
+	}
+}
+
+// collect is the single consumer of the backend's result stream: it
+// releases each document's queue slot and routes the result back to
+// its request, with the caller's ID and request-local position
+// restored. When the stream closes under a forced shutdown, every
+// still-pending document is failed so no handler waits forever.
+func (s *Server) collect() {
+	defer close(s.collectorDone)
+	for res := range s.out {
+		s.mu.Lock()
+		p, ok := s.pending[res.Item.ID]
+		if ok {
+			delete(s.pending, res.Item.ID)
+			s.queued--
+			s.m.setQueue(s.queued)
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		res.Item.ID = p.userID
+		res.Index = p.pos
+		if res.Dead != nil {
+			dead := *res.Dead
+			dead.ID = p.userID
+			res.Dead = &dead
+		}
+		s.m.docScored(res.Status)
+		p.reply <- res
+	}
+	s.mu.Lock()
+	abandoned := s.pending
+	s.pending = make(map[string]pendingDoc)
+	s.queued = 0
+	s.m.setQueue(0)
+	s.mu.Unlock()
+	for _, p := range abandoned {
+		p.reply <- resilience.Result[core.StreamDoc]{
+			Index:  p.pos,
+			Item:   core.StreamDoc{ID: p.userID},
+			Status: resilience.StatusQuarantined,
+			Dead:   &resilience.DeadLetter{ID: p.userID, Stage: "serve", Err: errStopped},
+		}
+	}
+}
+
+// Shutdown drains the server: stop admitting (readyz flips to 503 and
+// new score requests are refused), finish every accepted request, close
+// the scoring stream, and drain the HTTP listener, all bounded by ctx.
+// On ctx expiry the backend is aborted and remaining waiters receive
+// synthetic quarantine results. Safe to call more than once; returns
+// nil when every accepted request completed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	var drained chan struct{}
+	switch {
+	case !s.draining:
+		s.draining = true
+		s.m.setDraining(true)
+		drained = make(chan struct{})
+		if s.inflight == 0 {
+			close(drained)
+		} else {
+			s.drained = drained
+		}
+	case s.drained != nil:
+		drained = s.drained
+	default:
+		drained = make(chan struct{})
+		close(drained)
+	}
+	s.mu.Unlock()
+
+	var err error
+	drainOK := false
+	select {
+	case <-drained:
+		drainOK = true
+	default:
+		select {
+		case <-drained:
+			drainOK = true
+		case <-ctx.Done():
+			err = fmt.Errorf("serve: drain: %w", ctx.Err())
+			s.cancel()
+		}
+	}
+	if drainOK {
+		// Every accepted request has been answered; nothing will send
+		// on s.in again, so the stream can drain and close cleanly.
+		s.closeIn.Do(func() { close(s.in) })
+	}
+	select {
+	case <-s.collectorDone:
+	default:
+		select {
+		case <-s.collectorDone:
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("serve: drain: %w", ctx.Err())
+			}
+			s.cancel()
+			<-s.collectorDone
+		}
+	}
+	s.cancel()
+	if s.web != nil {
+		if werr := s.web.Close(ctx); werr != nil && err == nil {
+			err = fmt.Errorf("serve: http drain: %w", werr)
+		}
+	}
+	return err
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Serving benchmark and lifecycle smoke: builds harassd and loadgen,
+# starts harassd on an ephemeral port (training quick-scale classifiers
+# at startup), drives it with concurrent clients, curl-smokes every
+# endpoint, then SIGTERMs mid-idle and asserts a clean drain (exit 0).
+# Throughput and latency percentiles land in BENCH_serve.json at the
+# repo root.
+#
+# Usage: scripts/bench_serve.sh [-clients N] [-duration D]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+clients=64
+duration=5s
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -clients)  clients=$2; shift 2 ;;
+    -duration) duration=$2; shift 2 ;;
+    *) echo "usage: $0 [-clients N] [-duration D]" >&2; exit 2 ;;
+  esac
+done
+
+workdir=$(mktemp -d)
+log="$workdir/harassd.log"
+cleanup() {
+  [[ -n "${pid:-}" ]] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build harassd + loadgen"
+go build -o "$workdir/harassd" ./cmd/harassd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== start harassd (ephemeral port, quick-scale training)"
+"$workdir/harassd" -addr 127.0.0.1:0 -scale quick 2>"$log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 150); do
+  addr=$(sed -n 's|.*listening on http://||p' "$log")
+  [[ -n "$addr" ]] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; echo "harassd died during startup" >&2; exit 1; }
+  sleep 0.2
+done
+[[ -n "$addr" ]] || { cat "$log" >&2; echo "harassd never reported an address" >&2; exit 1; }
+echo "   harassd at $addr (pid $pid)"
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/readyz" >/dev/null && break
+  sleep 0.1
+done
+
+echo "== endpoint smoke"
+curl -sf -X POST "http://$addr/v1/score" \
+  -d '{"id":"s","platform":"discord","text":"everyone mass report his channel"}' | grep -q '"status":"ok"'
+printf '%s\n%s\n' \
+  '{"id":"b1","platform":"gab","text":"dropping her address 99 cedar lane"}' \
+  'not json' |
+  curl -sf -X POST "http://$addr/v1/score/batch" --data-binary @- |
+  grep -q '"bad_lines":1'
+curl -sf "http://$addr/healthz" | grep -q ok
+curl -sf "http://$addr/metrics" | grep -q serve_requests_total
+
+echo "== loadgen ($clients clients, $duration)"
+"$workdir/loadgen" -addr "$addr" -clients "$clients" -duration "$duration" \
+  -batch-every 10 -batch-docs 16 -out BENCH_serve.json
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [[ $rc -ne 0 ]]; then
+  cat "$log" >&2
+  echo "harassd exited $rc after SIGTERM (want 0)" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$log" || { cat "$log" >&2; echo "missing clean-drain log line" >&2; exit 1; }
+
+echo "OK — BENCH_serve.json written"

@@ -22,10 +22,11 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 # The concurrent runtime (worker pool, chaos harness, streaming
-# scoring) and the metrics core shared across its workers must be
+# scoring), the metrics core shared across its workers, and the HTTP
+# serving layer coalescing requests onto that runtime must be
 # race-clean, not just correct.
-echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/..."
-go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/...
+echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/..."
+go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/...
 
 # Allocation-regression gates: the scoring hot path (tokenize,
 # featurize, PII clean path, pooled detector scoring) and the obs
@@ -47,6 +48,12 @@ if [[ $fast -eq 0 ]]; then
   # land in BENCH_pipeline.json.
   echo "== pipeline benchmark (BENCH_pipeline.json)"
   scripts/bench_pipeline.sh
+
+  # Serving smoke + benchmark: harassd on an ephemeral port, endpoint
+  # curls, concurrent load, and a SIGTERM that must drain to exit 0;
+  # throughput and latency percentiles land in BENCH_serve.json.
+  echo "== serving benchmark (BENCH_serve.json)"
+  scripts/bench_serve.sh
 fi
 
 echo "OK"
