@@ -14,12 +14,22 @@
 //	GET  /metrics.json    JSON metrics snapshot
 //	GET  /debug/pprof/*   live profiling
 //
-// Every request — single score or batch — coalesces onto one shared
-// bounded scoring pool over the detector's pooled zero-allocation
-// scorers. Overload is shed with 429 + Retry-After (bounded in-flight
-// requests and queue depth, never an unbounded goroutine pile-up), and
-// SIGINT/SIGTERM triggers a graceful drain: stop admitting, finish
-// every accepted request, then exit 0.
+// Requests are routed onto -shards independent supervised scoring
+// shards, each with its own bounded queue and detector stream: a shard
+// that panics or stalls is killed and restarted under backoff, its
+// in-flight documents re-dispatched exactly once to a healthy shard (or
+// answered 503 + Retry-After), and a per-shard circuit breaker routes
+// traffic around a shard that keeps dying. /readyz reports 503 when a
+// quorum of shards is down. Overload is shed with 429 + Retry-After
+// (bounded in-flight requests and per-shard queue depth, never an
+// unbounded goroutine pile-up), and SIGINT/SIGTERM triggers a graceful
+// drain: stop admitting, finish every accepted request, then exit 0.
+// If -drain-timeout expires first, the abandoned in-flight requests are
+// counted, logged, and the process exits non-zero.
+//
+// -chaos enables the seeded serve-layer fault plan (shard panics, hard
+// stalls, latency spikes) for self-healing certification, e.g.
+// -chaos "seed=7,panic=0.02,stall=0.004,spike=0.05,spike-ms=20".
 //
 // With -models the classifiers are loaded from a directory written by
 // `harassrepro -save-models`; otherwise they are trained at startup by
@@ -28,9 +38,9 @@
 // Usage:
 //
 //	harassd [-addr :8712] [-models DIR] [-scale quick|default] [-seed N]
-//	        [-workers N] [-max-inflight N] [-queue-depth N]
+//	        [-shards N] [-workers N] [-max-inflight N] [-queue-depth N]
 //	        [-max-batch-docs N] [-request-timeout D] [-drain-timeout D]
-//	        [-no-annotate] [-metrics]
+//	        [-chaos PLAN] [-no-annotate] [-metrics]
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 
 	"harassrepro/internal/core"
 	"harassrepro/internal/obs"
+	"harassrepro/internal/resilience/chaos"
 	"harassrepro/internal/serve"
 )
 
@@ -59,7 +70,8 @@ func main() {
 		models         = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
 		scale          = flag.String("scale", "quick", "training corpus scale when -models is unset: quick or default")
 		seed           = flag.Uint64("seed", 1, "training and span-sampling seed")
-		workers        = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		shards         = flag.Int("shards", 0, "independent supervised scoring shards (0 = min(GOMAXPROCS, 8))")
+		workers        = flag.Int("workers", 0, "scoring worker pool size, divided across shards (0 = GOMAXPROCS)")
 		maxInFlight    = flag.Int("max-inflight", 256, "maximum concurrently admitted score requests")
 		queueDepth     = flag.Int("queue-depth", 1024, "maximum admitted-but-unscored documents across all requests")
 		maxBatchDocs   = flag.Int("max-batch-docs", 4096, "maximum documents in one batch request")
@@ -67,10 +79,19 @@ func main() {
 		maxLineBytes   = flag.Int("max-line-bytes", 1<<20, "maximum JSONL line length in a batch body")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request scoring deadline")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGINT/SIGTERM")
+		chaosPlan      = flag.String("chaos", "", "seeded serve-layer fault plan, e.g. \"seed=7,panic=0.02,stall=0.004,spike=0.05,spike-ms=20,shards=0,max-faults=40\"")
 		noAnnotate     = flag.Bool("no-annotate", false, "skip the PII and taxonomy annotation stages")
 		metrics        = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
+
+	faults, err := chaos.ParseServePlan(*chaosPlan)
+	if err != nil {
+		fail("%v", err)
+	}
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "harassd: CHAOS ENABLED: %s\n", *chaosPlan)
+	}
 
 	reg := obs.NewRegistry()
 
@@ -102,8 +123,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "harassd: classifiers ready in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Backend:        det,
+		Shards:         *shards,
 		Workers:        *workers,
 		Seed:           *seed,
 		Annotate:       !*noAnnotate,
@@ -114,7 +136,11 @@ func main() {
 		MaxLineBytes:   *maxLineBytes,
 		RequestTimeout: *requestTimeout,
 		Metrics:        reg,
-	})
+	}
+	if faults != nil {
+		cfg.Faults = faults
+	}
+	srv := serve.New(cfg)
 	if err := srv.Start(*addr); err != nil {
 		fail("%v", err)
 	}
@@ -128,7 +154,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "harassd: draining (bound %v)...\n", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	err := srv.Shutdown(dctx)
+	err = srv.Shutdown(dctx)
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "metrics snapshot:")
 		if werr := reg.WriteJSON(os.Stderr); werr != nil {
@@ -136,7 +162,10 @@ func main() {
 		}
 	}
 	if err != nil {
-		fail("drain: %v", err)
+		// The drain bound expired: report exactly what was abandoned so
+		// operators can audit the loss, and exit non-zero.
+		reqs, docs := srv.Abandoned()
+		fail("drain: %v (abandoned %d in-flight requests, %d unscored documents)", err, reqs, docs)
 	}
 	fmt.Fprintln(os.Stderr, "harassd: drained cleanly")
 }

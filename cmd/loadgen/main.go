@@ -5,13 +5,20 @@
 // Each client loops for -duration POSTing single-document score
 // requests (and, every -batch-every requests when set, a JSONL batch of
 // -batch-docs documents) drawn from a built-in rotation of harassing,
-// doxing and benign texts. 429 responses are counted as shed, not
-// errors: shedding under overload is the service behaving as designed.
+// doxing and benign texts. 429 and 503 responses are counted as shed,
+// not errors — shedding under overload and refusing during a shard
+// incident are the service behaving as designed — and the client
+// honours their Retry-After hint, backing off (capped by -max-backoff)
+// before its next request. After the run the server's /metrics.json is
+// scraped (best-effort) so the summary reports how many documents the
+// self-healing layer re-homed or failed and how many shard generations
+// restarted during the run.
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8712 [-clients 64] [-duration 10s]
-//	        [-batch-every 0] [-batch-docs 16] [-out FILE]
+//	        [-batch-every 0] [-batch-docs 16] [-max-backoff 5s]
+//	        [-fail-on-errors] [-out FILE]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -61,21 +69,30 @@ type report struct {
 	Requests      int     `json:"requests"`
 	OK            int     `json:"ok"`
 	Shed429       int     `json:"shed_429"`
+	Shed503       int     `json:"shed_503"`
+	BackoffWaits  int     `json:"backoff_waits"`
 	Errors        int     `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"latency_p50_ms"`
 	P95Ms         float64 `json:"latency_p95_ms"`
 	P99Ms         float64 `json:"latency_p99_ms"`
+	// Self-healing counters scraped from the server's /metrics.json
+	// after the run (zero when the server exposes no metrics).
+	Redispatched     int `json:"redispatched_docs"`
+	RedispatchFailed int `json:"redispatch_failed_docs"`
+	ShardRestarts    int `json:"shard_restarts"`
 }
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8712", "harassd address (host:port)")
-		clients    = flag.Int("clients", 64, "concurrent clients")
-		duration   = flag.Duration("duration", 10*time.Second, "load duration")
-		batchEvery = flag.Int("batch-every", 0, "send a batch request every N requests per client (0 = singles only)")
-		batchDocs  = flag.Int("batch-docs", 16, "documents per batch request")
-		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
+		addr         = flag.String("addr", "127.0.0.1:8712", "harassd address (host:port)")
+		clients      = flag.Int("clients", 64, "concurrent clients")
+		duration     = flag.Duration("duration", 10*time.Second, "load duration")
+		batchEvery   = flag.Int("batch-every", 0, "send a batch request every N requests per client (0 = singles only)")
+		batchDocs    = flag.Int("batch-docs", 16, "documents per batch request")
+		maxBackoff   = flag.Duration("max-backoff", 5*time.Second, "cap on the Retry-After backoff honoured after 429/503")
+		failOnErrors = flag.Bool("fail-on-errors", false, "exit non-zero if any request errored (shed 429/503 are not errors)")
+		out          = flag.String("out", "", "write the JSON report to this file as well as stdout")
 	)
 	flag.Parse()
 
@@ -83,8 +100,9 @@ func main() {
 	httpc := &http.Client{Timeout: 1 * time.Minute}
 
 	var (
-		mu      sync.Mutex
-		results []result
+		mu       sync.Mutex
+		results  []result
+		backoffs int
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -93,6 +111,7 @@ func main() {
 		go func(client int) {
 			defer wg.Done()
 			local := make([]result, 0, 1024)
+			waits := 0
 			for n := 0; time.Now().Before(deadline); n++ {
 				var body []byte
 				url := base + "/v1/score"
@@ -109,12 +128,27 @@ func main() {
 					local = append(local, result{err: true, latency: lat})
 					continue
 				}
+				retryAfter := resp.Header.Get("Retry-After")
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				local = append(local, result{code: resp.StatusCode, latency: lat})
+				if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+					if d := backoffFor(retryAfter, *maxBackoff); d > 0 {
+						// Honour the server's hint, but never sleep past
+						// the run deadline.
+						if remain := time.Until(deadline); d > remain {
+							d = remain
+						}
+						if d > 0 {
+							waits++
+							time.Sleep(d)
+						}
+					}
+				}
 			}
 			mu.Lock()
 			results = append(results, local...)
+			backoffs += waits
 			mu.Unlock()
 		}(c)
 	}
@@ -123,6 +157,8 @@ func main() {
 	elapsed := time.Since(start)
 
 	rep := summarize(results, *addr, *clients, elapsed)
+	rep.BackoffWaits = backoffs
+	scrapeHealing(httpc, base, &rep)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -138,6 +174,65 @@ func main() {
 	if rep.Requests == 0 || rep.OK == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
 		os.Exit(1)
+	}
+	if *failOnErrors && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d requests errored\n", rep.Errors)
+		os.Exit(1)
+	}
+}
+
+// backoffFor converts a Retry-After header (delta-seconds form) into a
+// sleep, capped by max. A missing or unparseable header falls back to
+// a short fixed pause so a misconfigured server still gets relief.
+func backoffFor(header string, max time.Duration) time.Duration {
+	d := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// metricsSnapshot mirrors the /metrics.json wire shape (obs.Snapshot).
+// Value is left raw: the registry encodes NaN/Inf gauges as strings,
+// and one odd value must not abort the whole scrape.
+type metricsSnapshot struct {
+	Metrics []struct {
+		Name  string          `json:"name"`
+		Value json.RawMessage `json:"value"`
+	} `json:"metrics"`
+}
+
+// scrapeHealing reads the server's self-healing counters after the run.
+// Best-effort: a server without -metrics (404) leaves the fields zero.
+func scrapeHealing(httpc *http.Client, base string, rep *report) {
+	resp, err := httpc.Get(base + "/metrics.json")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var snap metricsSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap); err != nil {
+		return
+	}
+	for _, m := range snap.Metrics {
+		var v float64
+		if m.Value == nil || json.Unmarshal(m.Value, &v) != nil {
+			continue
+		}
+		switch m.Name {
+		case "serve_redispatch_total":
+			rep.Redispatched += int(v)
+		case "serve_redispatch_failed_total":
+			rep.RedispatchFailed += int(v)
+		case "serve_shard_restarts_total": // summed across shard labels
+			rep.ShardRestarts += int(v)
+		}
 	}
 }
 
@@ -177,6 +272,8 @@ func summarize(results []result, addr string, clients int, elapsed time.Duration
 			lats = append(lats, r.latency)
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed429++
+		case r.code == http.StatusServiceUnavailable:
+			rep.Shed503++
 		default:
 			rep.Errors++
 		}

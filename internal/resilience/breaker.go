@@ -1,0 +1,198 @@
+package resilience
+
+// Circuit breaker for shard-level (or backend-level) health gating.
+// The serving layer routes traffic around a shard whose breaker is
+// open instead of queueing into it: a shard that keeps dying (panic,
+// stall, repeated generation failures) would otherwise soak up
+// admitted documents and convert every incident into client-visible
+// latency. The state machine is the classic three-state breaker:
+//
+//	closed    — traffic flows; consecutive failures are counted and
+//	            reset on any success.
+//	open      — Allow refuses everything until OpenTimeout has
+//	            elapsed since the breaker opened.
+//	half-open — after OpenTimeout, Allow admits up to HalfOpenProbes
+//	            probe units; HalfOpenProbes successes close the
+//	            breaker, any failure reopens it with a fresh timeout.
+//
+// Time is read through an injectable clock so the transition machinery
+// is unit-testable without sleeping.
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits all traffic.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits a bounded number of probes.
+	BreakerHalfOpen
+	// BreakerOpen refuses all traffic until the open timeout elapses.
+	BreakerOpen
+)
+
+// String returns the lower-case state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures a Breaker. Zero values pick defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures (with no
+	// intervening success) that opens a closed breaker. Default 3.
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker refuses traffic before
+	// moving to half-open. Default 5s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is both the number of probe admissions a
+	// half-open breaker grants and the number of successes required to
+	// close it. Default 1.
+	HalfOpenProbes int
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+	// OnTransition, if set, observes every state change (under the
+	// breaker's lock: keep it cheap — a gauge set, not I/O).
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	probes   int       // probe admissions granted this half-open window
+	probeOK  int       // probe successes this half-open window
+	openedAt time.Time // when the breaker last opened
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// transition moves to a new state, resetting window counters and
+// notifying the observer. Callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.fails = 0
+	b.probes = 0
+	b.probeOK = 0
+	if to == BreakerOpen {
+		b.openedAt = b.cfg.Now()
+	}
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+// tick applies the open -> half-open time transition. Callers hold b.mu.
+func (b *Breaker) tick() {
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		b.transition(BreakerHalfOpen)
+	}
+}
+
+// Allow reports whether one unit of traffic may proceed. In half-open
+// it grants up to HalfOpenProbes admissions; callers must report the
+// outcome of admitted traffic via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Success records one successful unit of traffic: it clears the
+// consecutive-failure count while closed and counts toward closing a
+// half-open breaker. Successes arriving while open (late results from
+// before the incident) are ignored.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// Failure records one failed unit of traffic (or one shard incident):
+// it opens a closed breaker at the threshold, reopens a half-open
+// breaker immediately, and refreshes an open breaker's timeout.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.transition(BreakerOpen)
+	default:
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// State returns the current state, applying the open -> half-open time
+// transition first so the answer reflects the clock, not just the last
+// recorded event.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	return b.state
+}

@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker transition tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2021, 11, 2, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: clock.Now})
+
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic before the timeout")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Second, Now: clock.Now})
+	// failure, success, failure: never two consecutive, stays closed.
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the streak)", got)
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []BreakerState
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   2,
+		Now:              clock.Now,
+		OnTransition:     func(_, to BreakerState) { transitions = append(transitions, to) },
+	})
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Just before the timeout: still open.
+	clock.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic 1ms early")
+	}
+	// At the timeout: half-open, exactly HalfOpenProbes admissions.
+	clock.Advance(time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after timeout = %v, want half-open", got)
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe budget")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted more than HalfOpenProbes")
+	}
+
+	// One success is not enough with HalfOpenProbes=2; two close it.
+	b.Success()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", got)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", got)
+	}
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clock.Now})
+	b.Failure()
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	// The reopen restarts the timeout from the failure, not the
+	// original opening.
+	clock.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted traffic before a full fresh timeout")
+	}
+	clock.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("reopened breaker never reached half-open again")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerLateSuccessWhileOpenIsIgnored(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clock.Now})
+	b.Failure()
+	b.Success() // late result from before the incident
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open (late success must not close)", got)
+	}
+	// A failure while open refreshes the timeout.
+	clock.Advance(500 * time.Millisecond)
+	b.Failure()
+	clock.Advance(600 * time.Millisecond) // 1.1s after opening, 0.6s after refresh
+	if b.Allow() {
+		t.Fatal("refreshed open breaker admitted traffic early")
+	}
+	clock.Advance(400 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker never admitted the probe after the refreshed timeout")
+	}
+}

@@ -1,0 +1,176 @@
+package chaos
+
+// Serve-layer fault plan: the chaos harness for the sharded scoring
+// service. A ServePlan injects shard panics, hard stalls and latency
+// spikes into shard collect loops via serve.FaultInjector (implemented
+// structurally — this package never imports serve). Wired to the
+// `harassd -chaos` flag and to the chaos-certification tests, which
+// assert that under a seeded plan every admitted request still gets
+// exactly one terminal answer and unfaulted shards score bit-identically
+// to a fault-free run.
+//
+// Every decision is a pure function of (seed, shard, generation, result
+// index): a chaotic serve run is reproducible regardless of scheduling.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"harassrepro/internal/randx"
+)
+
+// ServePlan decides serve-layer faults. Rates are per delivered result
+// and checked in order panic, stall, spike (at most one fault per
+// result). The zero value injects nothing.
+type ServePlan struct {
+	// Seed drives every decision.
+	Seed uint64
+	// PanicRate is the probability a result delivery panics the shard's
+	// collect loop (the generation dies; its pending documents are
+	// redispatched).
+	PanicRate float64
+	// StallRate is the probability the collect loop wedges — blocking
+	// until the supervisor's heartbeat watchdog kills the generation.
+	StallRate float64
+	// SpikeRate is the probability of a latency spike of Spike before
+	// the delivery (bounded, honours the generation context).
+	SpikeRate float64
+	// Spike is the injected spike duration. 0 means 10ms.
+	Spike time.Duration
+	// Targets restricts faults to these shard IDs; nil or empty means
+	// every shard is eligible.
+	Targets map[int]bool
+	// MaxFaults bounds the disruptive faults (panics + stalls) injected
+	// over the plan's lifetime, so a long run converges instead of
+	// dying forever. 0 means unbounded.
+	MaxFaults int
+
+	disruptive atomic.Int64
+}
+
+// BeforeDeliver implements the serve fault-injection hook. It runs in
+// shard `shard`'s generation `gen` ahead of its n-th result delivery
+// and either returns nil (no fault), panics, blocks until ctx is done
+// (hard stall), or sleeps briefly (latency spike).
+func (p *ServePlan) BeforeDeliver(ctx context.Context, shard, gen, n int) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Targets) > 0 && !p.Targets[shard] {
+		return nil
+	}
+	rng := randx.New(p.Seed).Split("chaos-serve").SplitN("shard", shard).SplitN("gen", gen).SplitN("res", n)
+	if p.PanicRate > 0 && rng.Split("panic").Bool(p.PanicRate) && p.takeDisruptive() {
+		panic(fmt.Errorf("%w: serve panic in shard %d gen %d result %d", ErrInjected, shard, gen, n))
+	}
+	if p.StallRate > 0 && rng.Split("stall").Bool(p.StallRate) && p.takeDisruptive() {
+		// Hard stall: no progress until the watchdog cancels the
+		// generation. The error marks the exit as chaos-induced.
+		<-ctx.Done()
+		return fmt.Errorf("%w: serve stall in shard %d gen %d result %d: %v", ErrInjected, shard, gen, n, ctx.Err())
+	}
+	if p.SpikeRate > 0 && rng.Split("spike").Bool(p.SpikeRate) {
+		spike := p.Spike
+		if spike <= 0 {
+			spike = 10 * time.Millisecond
+		}
+		t := time.NewTimer(spike)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// Disrupted reports the disruptive faults (panics + stalls) injected so
+// far.
+func (p *ServePlan) Disrupted() int { return int(p.disruptive.Load()) }
+
+// takeDisruptive claims one unit of the MaxFaults budget.
+func (p *ServePlan) takeDisruptive() bool {
+	n := p.disruptive.Add(1)
+	if p.MaxFaults > 0 && n > int64(p.MaxFaults) {
+		p.disruptive.Add(-1)
+		return false
+	}
+	return true
+}
+
+// ParseServePlan parses the `harassd -chaos` flag syntax: comma-
+// separated key=value pairs, e.g.
+//
+//	seed=7,panic=0.02,stall=0.004,spike=0.05,spike-ms=20,shards=0+2,max-faults=40
+//
+// Keys: seed (uint), panic/stall/spike (probabilities in [0,1]),
+// spike-ms (spike duration, milliseconds), shards (plus-separated shard
+// IDs to target; omit for all), max-faults (cap on panics + stalls).
+// An empty spec returns (nil, nil): chaos disabled.
+func ParseServePlan(spec string) (*ServePlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &ServePlan{}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad plan entry %q: want key=value", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %w", val, err)
+			}
+			p.Seed = u
+		case "panic", "stall", "spike":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("chaos: bad rate %s=%q: want a probability in [0,1]", key, val)
+			}
+			switch key {
+			case "panic":
+				p.PanicRate = f
+			case "stall":
+				p.StallRate = f
+			case "spike":
+				p.SpikeRate = f
+			}
+		case "spike-ms":
+			ms, err := strconv.Atoi(val)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("chaos: bad spike-ms %q", val)
+			}
+			p.Spike = time.Duration(ms) * time.Millisecond
+		case "shards":
+			p.Targets = map[int]bool{}
+			for _, idStr := range strings.Split(val, "+") {
+				id, err := strconv.Atoi(strings.TrimSpace(idStr))
+				if err != nil || id < 0 {
+					return nil, fmt.Errorf("chaos: bad shard id %q in %q", idStr, val)
+				}
+				p.Targets[id] = true
+			}
+		case "max-faults":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: bad max-faults %q", val)
+			}
+			p.MaxFaults = n
+		default:
+			return nil, fmt.Errorf("chaos: unknown plan key %q (want seed, panic, stall, spike, spike-ms, shards, max-faults)", key)
+		}
+	}
+	return p, nil
+}

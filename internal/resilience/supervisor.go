@@ -1,0 +1,209 @@
+package resilience
+
+// Supervisor: generation-based restart of a long-running task, the
+// self-healing half of the sharded serving layer. A supervised task —
+// one scoring shard's stream-and-collect loop — runs until it fails
+// (error, panic, or detected stall) and is then restarted as a fresh
+// generation under exponential backoff with seeded jitter. The
+// supervisor never lets a sick shard take the process down and never
+// spins hot on a shard that dies instantly.
+//
+// Stall detection is heartbeat-based: the task beats its Heartbeat on
+// every unit of progress (a delivered result) and maintains a busy
+// count (admitted-but-unanswered work). A task that is busy but has
+// not beaten for StallTimeout is declared stalled: its generation
+// context is cancelled and, once the task returns, the exit is
+// reported as ErrStalled. Tasks must honour context cancellation —
+// that contract is what turns "kill the shard" into a bounded
+// operation instead of a leaked goroutine.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"harassrepro/internal/randx"
+)
+
+// ErrStalled marks a generation killed by the heartbeat watchdog:
+// busy work was pending but no progress was observed for StallTimeout.
+var ErrStalled = errors.New("resilience: supervised task stalled")
+
+// Heartbeat is the liveness channel between a supervised task and its
+// watchdog. All methods are safe for concurrent use.
+type Heartbeat struct {
+	last atomic.Int64 // unix nanos of the last beat
+	busy atomic.Int64 // admitted-but-unfinished units of work
+}
+
+// Beat records progress now.
+func (h *Heartbeat) Beat() { h.last.Store(time.Now().UnixNano()) }
+
+// AddBusy adjusts the busy count: +n on admission, -n on completion.
+// A task with zero busy work is never declared stalled.
+func (h *Heartbeat) AddBusy(n int) { h.busy.Add(int64(n)) }
+
+// Busy returns the current busy count.
+func (h *Heartbeat) Busy() int { return int(h.busy.Load()) }
+
+// stalled reports whether busy work has seen no beat for timeout.
+func (h *Heartbeat) stalled(timeout time.Duration) bool {
+	return h.busy.Load() > 0 &&
+		time.Since(time.Unix(0, h.last.Load())) > timeout
+}
+
+// SupervisorConfig configures Supervise. Zero values pick defaults.
+type SupervisorConfig struct {
+	// Name labels the supervised task in errors and seeds the restart
+	// jitter stream (with Seed).
+	Name string
+	// Seed drives the backoff jitter so restart schedules are
+	// deterministic for a given failure sequence.
+	Seed uint64
+	// Backoff is the restart backoff policy. MaxAttempts is ignored:
+	// a supervised task is restarted for as long as the context lives.
+	Backoff RetryPolicy
+	// StallTimeout is how long a busy task may go without a heartbeat
+	// before being killed as stalled. 0 disables stall detection.
+	StallTimeout time.Duration
+	// WatchInterval is the watchdog poll period. Default
+	// StallTimeout/4 (min 1ms).
+	WatchInterval time.Duration
+	// HealthyAfter: a generation that lived at least this long resets
+	// the backoff ladder, so one crash after a day of health restarts
+	// fast. Default 30s.
+	HealthyAfter time.Duration
+	// KillTimeout bounds how long the supervisor waits for a cancelled
+	// generation to return before abandoning its goroutine. 0 waits
+	// forever (the right choice when the task is known to honour
+	// cancellation, as the serving shards are).
+	KillTimeout time.Duration
+	// OnExit, if set, observes every failed generation before its
+	// restart sleep: the generation number, how long it lived, why it
+	// died, and the backoff chosen. Not called for the final exit when
+	// the supervisor's context is cancelled.
+	OnExit func(gen int, uptime time.Duration, err error, restartIn time.Duration)
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	c.Backoff = c.Backoff.withDefaults()
+	if c.WatchInterval <= 0 {
+		c.WatchInterval = c.StallTimeout / 4
+		if c.WatchInterval < time.Millisecond {
+			c.WatchInterval = time.Millisecond
+		}
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 30 * time.Second
+	}
+	return c
+}
+
+// TaskFunc is one generation of a supervised task. It runs until its
+// context is cancelled or the task fails; returning nil ends
+// supervision (a voluntary, successful completion). gen is the
+// 0-based generation number; hb is the generation's heartbeat.
+type TaskFunc func(ctx context.Context, gen int, hb *Heartbeat) error
+
+// errAbandoned marks a generation whose goroutine outlived KillTimeout
+// after cancellation and was abandoned.
+var errAbandoned = errors.New("resilience: cancelled task did not return; goroutine abandoned")
+
+// Supervise runs task generations until ctx is cancelled or a
+// generation returns nil. Each failed generation (error, panic —
+// captured as *PanicError — or stall) is restarted after an
+// exponential, seeded-jitter backoff. Returns nil on voluntary
+// completion or ctx cancellation.
+func Supervise(ctx context.Context, cfg SupervisorConfig, task TaskFunc) error {
+	cfg = cfg.withDefaults()
+	jitter := randx.New(cfg.Seed).Split("supervisor").Split(cfg.Name)
+	consecutive := 0
+	for gen := 0; ; gen++ {
+		gctx, cancel := context.WithCancel(ctx)
+		hb := &Heartbeat{}
+		hb.Beat()
+		start := time.Now()
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			defer func() {
+				if v := recover(); v != nil {
+					err = capturePanic(v)
+				}
+				done <- err
+			}()
+			err = task(gctx, gen, hb)
+		}()
+
+		err := watch(ctx, cfg, hb, cancel, done)
+		cancel()
+		uptime := time.Since(start)
+
+		if ctx.Err() != nil {
+			// Supervised stop, not a failure: no OnExit, no restart.
+			return nil
+		}
+		if err == nil {
+			return nil
+		}
+		if uptime >= cfg.HealthyAfter {
+			consecutive = 0
+		}
+		consecutive++
+		delay := cfg.Backoff.backoff(consecutive, jitter)
+		if cfg.OnExit != nil {
+			cfg.OnExit(gen, uptime, err, delay)
+		}
+		if sleep(ctx, delay) != nil {
+			return nil
+		}
+	}
+}
+
+// watch waits for the generation to finish, killing it if the
+// heartbeat watchdog declares a stall. Returns the generation's error
+// (wrapped in ErrStalled when the watchdog fired).
+func watch(ctx context.Context, cfg SupervisorConfig, hb *Heartbeat, cancel context.CancelFunc, done <-chan error) error {
+	var tick <-chan time.Time
+	if cfg.StallTimeout > 0 {
+		t := time.NewTicker(cfg.WatchInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case err := <-done:
+			return err
+		case <-ctx.Done():
+			cancel()
+			return awaitExit(cfg, done)
+		case <-tick:
+			if hb.stalled(cfg.StallTimeout) {
+				cancel()
+				err := awaitExit(cfg, done)
+				if err == nil {
+					return ErrStalled
+				}
+				return fmt.Errorf("%w: %w", ErrStalled, err)
+			}
+		}
+	}
+}
+
+// awaitExit waits for a cancelled generation to return, bounded by
+// KillTimeout when one is configured.
+func awaitExit(cfg SupervisorConfig, done <-chan error) error {
+	if cfg.KillTimeout <= 0 {
+		return <-done
+	}
+	t := time.NewTimer(cfg.KillTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return errAbandoned
+	}
+}

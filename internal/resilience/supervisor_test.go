@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// exitRecorder collects OnExit events thread-safely.
+type exitRecorder struct {
+	mu    sync.Mutex
+	gens  []int
+	errs  []error
+	waits []time.Duration
+}
+
+func (r *exitRecorder) onExit(gen int, _ time.Duration, err error, restartIn time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gens = append(r.gens, gen)
+	r.errs = append(r.errs, err)
+	r.waits = append(r.waits, restartIn)
+}
+
+func (r *exitRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.gens)
+}
+
+func TestSuperviseRestartsFailingGenerationsWithBackoff(t *testing.T) {
+	rec := &exitRecorder{}
+	var gensRun atomic.Int32
+	err := Supervise(context.Background(), SupervisorConfig{
+		Name:    "test",
+		Seed:    7,
+		Backoff: RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		OnExit:  rec.onExit,
+	}, func(_ context.Context, gen int, _ *Heartbeat) error {
+		gensRun.Add(1)
+		if gen < 3 {
+			return fmt.Errorf("boom in gen %d", gen)
+		}
+		return nil // voluntary completion ends supervision
+	})
+	if err != nil {
+		t.Fatalf("Supervise = %v, want nil", err)
+	}
+	if got := gensRun.Load(); got != 4 {
+		t.Fatalf("generations run = %d, want 4", got)
+	}
+	if rec.count() != 3 {
+		t.Fatalf("OnExit events = %d, want 3 (one per failed generation)", rec.count())
+	}
+	for i, g := range rec.gens {
+		if g != i {
+			t.Errorf("OnExit gen[%d] = %d, want %d", i, g, i)
+		}
+	}
+}
+
+func TestSuperviseCapturesPanicsAsPanicError(t *testing.T) {
+	rec := &exitRecorder{}
+	err := Supervise(context.Background(), SupervisorConfig{
+		Name:    "panicky",
+		Backoff: RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		OnExit:  rec.onExit,
+	}, func(_ context.Context, gen int, _ *Heartbeat) error {
+		if gen == 0 {
+			panic("shard exploded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Supervise = %v", err)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("OnExit events = %d, want 1", rec.count())
+	}
+	var pe *PanicError
+	if !errors.As(rec.errs[0], &pe) {
+		t.Fatalf("exit error = %v (%T), want *PanicError", rec.errs[0], rec.errs[0])
+	}
+	if pe.Value != "shard exploded" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v, want value and stack preserved", pe)
+	}
+}
+
+func TestSuperviseDetectsStallAndKillsGeneration(t *testing.T) {
+	rec := &exitRecorder{}
+	var healthyGen atomic.Int32
+	err := Supervise(context.Background(), SupervisorConfig{
+		Name:         "staller",
+		Backoff:      RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		StallTimeout: 30 * time.Millisecond,
+		OnExit:       rec.onExit,
+	}, func(ctx context.Context, gen int, hb *Heartbeat) error {
+		if gen == 0 {
+			// Busy work, then silence: the watchdog must kill us. The
+			// task honours cancellation, as the contract requires.
+			hb.AddBusy(3)
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		healthyGen.Store(int32(gen))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Supervise = %v", err)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("OnExit events = %d, want 1", rec.count())
+	}
+	if !errors.Is(rec.errs[0], ErrStalled) {
+		t.Fatalf("exit error = %v, want ErrStalled", rec.errs[0])
+	}
+	if healthyGen.Load() != 1 {
+		t.Errorf("restarted generation = %d, want 1", healthyGen.Load())
+	}
+}
+
+func TestSuperviseIdleTaskIsNotStalled(t *testing.T) {
+	// Busy count zero: no beats for far longer than StallTimeout must
+	// not trigger the watchdog.
+	done := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var exits atomic.Int32
+	go func() {
+		defer close(done)
+		Supervise(ctx, SupervisorConfig{ //nolint:errcheck
+			Name:         "idle",
+			StallTimeout: 10 * time.Millisecond,
+			OnExit:       func(int, time.Duration, error, time.Duration) { exits.Add(1) },
+		}, func(ctx context.Context, _ int, _ *Heartbeat) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	}()
+	time.Sleep(80 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not stop on context cancellation")
+	}
+	if exits.Load() != 0 {
+		t.Errorf("idle task was killed %d times, want 0", exits.Load())
+	}
+}
+
+func TestSuperviseBeatingBusyTaskIsNotStalled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var exits atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Supervise(ctx, SupervisorConfig{ //nolint:errcheck
+			Name:         "beater",
+			StallTimeout: 25 * time.Millisecond,
+			OnExit:       func(int, time.Duration, error, time.Duration) { exits.Add(1) },
+		}, func(ctx context.Context, _ int, hb *Heartbeat) error {
+			hb.AddBusy(1)
+			t := time.NewTicker(5 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-t.C:
+					hb.Beat()
+				}
+			}
+		})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not stop on context cancellation")
+	}
+	if exits.Load() != 0 {
+		t.Errorf("beating task was killed %d times, want 0", exits.Load())
+	}
+}

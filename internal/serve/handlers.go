@@ -9,17 +9,24 @@ package serve
 //                         corpus.ReadJSONLOpts) or a JSON array of
 //                         score requests -> BatchResponse
 //   GET  /healthz         process liveness, always 200
-//   GET  /readyz          200 while admitting, 503 once draining
+//   GET  /readyz          200 while a quorum of shards is healthy, 503
+//                         once draining or when half or more of the
+//                         shard fleet is down/open (degraded)
 //
 // Overload and drain semantics: 429 + Retry-After when the in-flight
-// or queue bound would be exceeded, 503 + Retry-After once Shutdown
-// has begun, 413 for bodies or batches over their limits, 504 when the
+// bound is hit or every healthy shard's queue is full, 503 +
+// Retry-After once Shutdown has begun or when no shard is accepting
+// traffic (all down or breaker-open), 503 + Retry-After when a
+// document's shard died and its single redispatch could not re-home it
+// (single-doc route; batch responses carry the failure per document),
+// 413 for bodies or batches over their limits, 504 when the
 // per-request deadline expires before scoring completes.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -151,16 +158,34 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, 
 	return body, true
 }
 
-// reject answers an unadmitted request: 503 while draining, 429 on
-// overload, both with a Retry-After hint.
-func (s *Server) reject(w http.ResponseWriter, draining bool) {
+// retryAfter stamps the Retry-After hint on a 429/503 response.
+func (s *Server) retryAfter(w http.ResponseWriter) {
 	retry := int(s.cfg.RetryAfter / time.Second)
 	if retry < 1 {
 		retry = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
+}
+
+// reject answers an unadmitted request: 503 while draining, 429 on
+// overload, both with a Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter, draining bool) {
+	s.retryAfter(w)
 	if draining {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.m.shedRequest()
+	writeError(w, http.StatusTooManyRequests, "server overloaded: retry later")
+}
+
+// rejectDispatch answers a request whose documents could not be routed:
+// 429 when healthy shards exist but their queues are full, 503 when no
+// shard is accepting traffic.
+func (s *Server) rejectDispatch(w http.ResponseWriter, st dispatchStatus) {
+	s.retryAfter(w)
+	if st == dispatchUnavailable {
+		writeError(w, http.StatusServiceUnavailable, "no scoring shard available: retry later")
 		return
 	}
 	s.m.shedRequest()
@@ -175,6 +200,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Stats().Draining {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !s.ready() {
+		st := s.Stats()
+		http.Error(w, "degraded: "+strconv.Itoa(st.HealthyShards)+"/"+
+			strconv.Itoa(len(st.Shards))+" shards healthy", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -195,19 +226,29 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing text")
 		return
 	}
-	if ok, draining := s.admit(1); !ok {
+	if ok, draining := s.admitRequest(); !ok {
 		s.reject(w, draining)
 		return
 	}
 	defer s.releaseRequest()
 
 	reply := make(chan resilience.Result[core.StreamDoc], 1)
-	s.enqueue([]core.StreamDoc{{Platform: req.Platform, Text: req.Text}}, []string{req.ID}, reply)
+	if st := s.enqueue([]core.StreamDoc{{Platform: req.Platform, Text: req.Text}}, []string{req.ID}, reply); st != dispatchOK {
+		s.rejectDispatch(w, st)
+		return
+	}
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	select {
 	case res := <-reply:
+		if res.Dead != nil && errors.Is(res.Dead.Err, errShardLost) {
+			// The shard died and the single redispatch could not
+			// re-home the document: terminal, but retryable upstream.
+			s.retryAfter(w)
+			writeError(w, http.StatusServiceUnavailable, "scoring shard lost: retry later")
+			return
+		}
 		writeJSON(w, http.StatusOK, toScoreResult(res))
 	case <-ctx.Done():
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before scoring completed")
@@ -244,7 +285,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if ok, draining := s.admit(len(docs)); !ok {
+	if ok, draining := s.admitRequest(); !ok {
 		s.reject(w, draining)
 		return
 	}
@@ -252,7 +293,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.observeBatch(len(docs))
 
 	reply := make(chan resilience.Result[core.StreamDoc], len(docs))
-	s.enqueue(docs, userIDs, reply)
+	if st := s.enqueue(docs, userIDs, reply); st != dispatchOK {
+		s.rejectDispatch(w, st)
+		return
+	}
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()

@@ -14,11 +14,26 @@ package serve
 //	serve_shed_total                   counter   (429 responses)
 //	serve_docs_total{status}           counter   (scored documents)
 //	serve_batch_docs                   histogram (documents per batch)
-//	serve_queue_depth                  gauge     (admitted, unscored docs)
+//	serve_queue_depth                  gauge     (admitted, unscored docs, all shards)
 //	serve_inflight_requests            gauge
 //	serve_draining                     gauge     (0/1)
+//
+// Per-shard (label shard="0".."N-1"); the aggregate serve_queue_depth
+// is maintained from the same admissions that update the per-shard
+// gauges, so the two views cannot disagree with the 429 decisions:
+//
+//	serve_shard_queue_depth{shard}       gauge
+//	serve_shard_state{shard}             gauge   (0 starting, 1 running, 2 down)
+//	serve_shard_breaker_state{shard}     gauge   (0 closed, 1 half-open, 2 open)
+//	serve_shard_restarts_total{shard}    counter (failed generations)
+//	serve_shard_stalls_total{shard}      counter (watchdog kills)
+//	serve_shard_panics_total{shard}      counter (captured panics)
+//	serve_shard_redispatch_total{shard}  counter (docs moved off this shard)
+//	serve_redispatch_total               counter (docs successfully re-homed)
+//	serve_redispatch_failed_total        counter (docs answered 503 shard-lost)
 
 import (
+	"errors"
 	"strconv"
 	"time"
 
@@ -35,15 +50,30 @@ var (
 // is valid and turns every method into a no-op, so the server runs
 // identically without a registry.
 type serverMetrics struct {
-	reg      *obs.Registry
-	requests map[string]map[int]*obs.Counter
-	latency  map[string]*obs.Histogram
-	shed     *obs.Counter
-	docs     map[resilience.Status]*obs.Counter
-	batch    *obs.Histogram
+	reg          *obs.Registry
+	requests     map[string]map[int]*obs.Counter
+	latency      map[string]*obs.Histogram
+	shed         *obs.Counter
+	docs         map[resilience.Status]*obs.Counter
+	batch        *obs.Histogram
+	queue        *obs.Gauge
+	inflight     *obs.Gauge
+	draining     *obs.Gauge
+	redisp       *obs.Counter
+	redispFailed *obs.Counter
+	shards       []*shardMetrics
+}
+
+// shardMetrics is one shard's pre-registered handles; nil is a no-op
+// like its parent.
+type shardMetrics struct {
 	queue    *obs.Gauge
-	inflight *obs.Gauge
-	draining *obs.Gauge
+	state    *obs.Gauge
+	breaker  *obs.Gauge
+	restarts *obs.Counter
+	stalls   *obs.Counter
+	panics   *obs.Counter
+	redisp   *obs.Counter
 }
 
 // batchBuckets is the batch-size bucket layout: 1 to 5000 documents in
@@ -56,20 +86,34 @@ func batchBuckets() []int64 {
 	return out
 }
 
-func newServerMetrics(reg *obs.Registry) *serverMetrics {
+func newServerMetrics(reg *obs.Registry, shards int) *serverMetrics {
 	if reg == nil {
 		return nil
 	}
 	m := &serverMetrics{
-		reg:      reg,
-		requests: make(map[string]map[int]*obs.Counter, len(metricRoutes)),
-		latency:  make(map[string]*obs.Histogram, len(metricRoutes)),
-		docs:     make(map[resilience.Status]*obs.Counter, 3),
-		shed:     reg.NewCounter("serve_shed_total", "Requests shed with 429 under overload"),
-		batch:    reg.NewHistogram("serve_batch_docs", "Documents per batch request", batchBuckets()),
-		queue:    reg.NewGauge("serve_queue_depth", "Admitted documents not yet scored"),
-		inflight: reg.NewGauge("serve_inflight_requests", "Admitted score requests being served"),
-		draining: reg.NewGauge("serve_draining", "1 while Shutdown is draining the server"),
+		reg:          reg,
+		requests:     make(map[string]map[int]*obs.Counter, len(metricRoutes)),
+		latency:      make(map[string]*obs.Histogram, len(metricRoutes)),
+		docs:         make(map[resilience.Status]*obs.Counter, 3),
+		shed:         reg.NewCounter("serve_shed_total", "Requests shed with 429 under overload"),
+		batch:        reg.NewHistogram("serve_batch_docs", "Documents per batch request", batchBuckets()),
+		queue:        reg.NewGauge("serve_queue_depth", "Admitted documents not yet scored, all shards"),
+		inflight:     reg.NewGauge("serve_inflight_requests", "Admitted score requests being served"),
+		draining:     reg.NewGauge("serve_draining", "1 while Shutdown is draining the server"),
+		redisp:       reg.NewCounter("serve_redispatch_total", "Documents re-homed off a dead shard generation"),
+		redispFailed: reg.NewCounter("serve_redispatch_failed_total", "Documents answered 503 after losing their shard"),
+	}
+	for i := 0; i < shards; i++ {
+		l := obs.L("shard", strconv.Itoa(i))
+		m.shards = append(m.shards, &shardMetrics{
+			queue:    reg.NewGauge("serve_shard_queue_depth", "Admitted documents not yet scored on this shard", l),
+			state:    reg.NewGauge("serve_shard_state", "Shard admission state: 0 starting, 1 running, 2 down", l),
+			breaker:  reg.NewGauge("serve_shard_breaker_state", "Shard circuit breaker: 0 closed, 1 half-open, 2 open", l),
+			restarts: reg.NewCounter("serve_shard_restarts_total", "Failed shard generations (each restarted)", l),
+			stalls:   reg.NewCounter("serve_shard_stalls_total", "Shard generations killed by the heartbeat watchdog", l),
+			panics:   reg.NewCounter("serve_shard_panics_total", "Shard generations killed by a captured panic", l),
+			redisp:   reg.NewCounter("serve_shard_redispatch_total", "Documents moved off this shard's dead generations", l),
+		})
 	}
 	for _, route := range metricRoutes {
 		byCode := make(map[int]*obs.Counter, len(metricCodes))
@@ -147,5 +191,65 @@ func (m *serverMetrics) setDraining(on bool) {
 		m.draining.Set(1)
 	} else {
 		m.draining.Set(0)
+	}
+}
+
+// forShard returns shard id's handles; nil when no registry is wired
+// or id is out of range, which every shardMetrics method tolerates.
+func (m *serverMetrics) forShard(id int) *shardMetrics {
+	if m == nil || id < 0 || id >= len(m.shards) {
+		return nil
+	}
+	return m.shards[id]
+}
+
+func (m *serverMetrics) redispatches(n int) {
+	if m != nil {
+		m.redisp.Add(uint64(n))
+	}
+}
+
+func (m *serverMetrics) redispatchFailed() {
+	if m != nil {
+		m.redispFailed.Inc()
+	}
+}
+
+func (sm *shardMetrics) setQueue(n int) {
+	if sm != nil {
+		sm.queue.Set(float64(n))
+	}
+}
+
+func (sm *shardMetrics) setState(st shardState) {
+	if sm != nil {
+		sm.state.Set(float64(st))
+	}
+}
+
+func (sm *shardMetrics) setBreaker(st resilience.BreakerState) {
+	if sm != nil {
+		sm.breaker.Set(float64(st))
+	}
+}
+
+// generationFailed accounts one failed generation by cause.
+func (sm *shardMetrics) generationFailed(err error) {
+	if sm == nil {
+		return
+	}
+	sm.restarts.Inc()
+	if errors.Is(err, resilience.ErrStalled) {
+		sm.stalls.Inc()
+	}
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		sm.panics.Inc()
+	}
+}
+
+func (sm *shardMetrics) redispatched(n int) {
+	if sm != nil {
+		sm.redisp.Add(uint64(n))
 	}
 }

@@ -5,26 +5,33 @@
 // Perspective-API deployment model), and this package supplies the
 // serving discipline such a deployment needs:
 //
-//   - request coalescing: every request — single /v1/score call or a
-//     thousand-document batch — feeds one shared, long-lived
-//     resilience.Runner stream over the detector's pooled scorers, so
-//     concurrency is bounded by one worker pool no matter how many
-//     clients connect, and per-request work shares the same retry,
-//     panic-isolation and dead-letter machinery as offline scoring;
+//   - sharded scoring: requests are routed onto N independent,
+//     supervised scoring shards — each with its own backend stream
+//     over the detector's pooled scorers, its own bounded queue and
+//     its own pending table, no cross-shard locks on the scoring
+//     path — so one stalled or panicking shard is a 1/N failure
+//     domain, not a whole-service outage;
+//   - self-healing: a heartbeat watchdog kills a stalled shard, panics
+//     are captured, and the shard restarts under exponential backoff;
+//     a per-shard circuit breaker (closed → open → half-open probe)
+//     routes traffic around a shard that keeps dying;
+//   - no-loss handoff: documents in flight on a dying shard are
+//     re-dispatched exactly once to a healthy shard or answered with a
+//     terminal 503 + Retry-After — never dropped, never answered
+//     twice (see shard.go for the ownership invariants);
 //   - admission control: a bounded in-flight request count and a
-//     bounded scoring queue; overload is answered immediately with
-//     429 + Retry-After instead of an unbounded goroutine pile-up;
-//   - per-request deadlines propagated via context: a caller that
-//     gives up stops waiting, and its abandoned documents release
-//     their queue slots as they complete;
-//   - graceful drain: Shutdown stops admitting, finishes every
-//     accepted request, closes the scoring stream, and drains the
-//     HTTP listener, all bounded by the caller's context.
+//     bounded per-shard scoring queue; overload is answered
+//     immediately with 429 + Retry-After instead of an unbounded
+//     goroutine pile-up;
+//   - per-request deadlines propagated via context, and graceful
+//     drain: Shutdown stops admitting, finishes every accepted
+//     request, stops the shard fleet, and drains the HTTP listener,
+//     all bounded by the caller's context.
 //
-// The invariant that makes the hot path simple: queue admission
-// reserves one slot per document and cap(s.in) == QueueDepth, so at
-// most QueueDepth admitted documents exist anywhere between admission
-// and collection — a post-admission send on s.in can never block.
+// The invariant that keeps the hot path simple survives sharding:
+// admission reserves one slot per document under the owning shard's
+// lock and cap(shard.in) == shard depth, so a post-admission send on a
+// shard queue can never block.
 package serve
 
 import (
@@ -33,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,19 +53,30 @@ import (
 
 // Backend scores a stream of documents. *core.Detector implements it
 // with the pooled zero-allocation scorers; tests substitute a fake with
-// controllable latency.
+// controllable latency. Each shard calls ScoreStream once per
+// generation, so a Backend must support concurrent independent streams
+// (the detector's scorer pool does).
 type Backend interface {
 	ScoreStream(ctx context.Context, in <-chan core.StreamDoc, opts core.StreamOptions) <-chan resilience.Result[core.StreamDoc]
 }
+
+// drainFlushTimeout bounds how long a dead generation flushes
+// already-computed results before its survivors are redispatched.
+const drainFlushTimeout = 3 * time.Second
 
 // Config configures a Server. The zero value of every limit picks a
 // production-safe default.
 type Config struct {
 	// Backend scores the documents. Required.
 	Backend Backend
-	// Workers bounds the shared scoring pool (0 = GOMAXPROCS).
+	// Shards is the number of independent scoring shards. Default
+	// min(GOMAXPROCS, 8).
+	Shards int
+	// Workers bounds the total scoring pool, divided across shards
+	// (each shard gets at least one worker). 0 = GOMAXPROCS.
 	Workers int
-	// Seed drives the detector's deterministic span sampling.
+	// Seed drives the detector's deterministic span sampling and the
+	// shard supervisors' restart jitter.
 	Seed uint64
 	// Annotate adds the PII and taxonomy/seed-query stages to every
 	// scored document.
@@ -65,13 +84,14 @@ type Config struct {
 	// MaxInFlight bounds concurrently admitted score requests; excess
 	// requests are shed with 429. Default 256.
 	MaxInFlight int
-	// QueueDepth bounds documents admitted but not yet scored, across
-	// all requests. A request whose documents do not fit is shed with
-	// 429. Default 1024.
+	// QueueDepth bounds documents admitted but not yet scored, divided
+	// across shards (ceil(QueueDepth/Shards) each, min 1). A request
+	// whose documents fit no shard is shed with 429. Default 1024.
 	QueueDepth int
 	// MaxBatchDocs bounds one batch request; larger batches get 413.
-	// Default 4096 (clamped to QueueDepth, since a batch larger than
-	// the queue could never be admitted).
+	// Default 4096 (clamped to the per-shard queue depth, since a
+	// request's documents are routed to one shard and a larger batch
+	// could never be admitted).
 	MaxBatchDocs int
 	// MaxBodyBytes bounds a request body. Default 32 MiB.
 	MaxBodyBytes int64
@@ -84,8 +104,24 @@ type Config struct {
 	// RetryAfter is the hint returned with 429/503 responses.
 	// Default 1s.
 	RetryAfter time.Duration
+	// StallTimeout is how long a busy shard may go without delivering
+	// a result before its generation is killed as stalled. Default 2s.
+	StallTimeout time.Duration
+	// BreakerThreshold is the consecutive generation failures that
+	// open a shard's circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerOpenTimeout is how long an open breaker refuses traffic
+	// before allowing a half-open probe. Default 5s.
+	BreakerOpenTimeout time.Duration
+	// RestartBackoff is the shard restart backoff policy. Zero values
+	// pick 10ms base / 1s cap.
+	RestartBackoff resilience.RetryPolicy
+	// Faults, if set, injects serve-layer faults into every shard's
+	// collect loop (see FaultInjector); wired to `harassd -chaos`.
+	Faults FaultInjector
 	// Metrics, if set, receives the serving instruments (request/
-	// latency/queue-depth/batch-size) alongside the backend's scoring
+	// latency/queue-depth/batch-size plus per-shard restart, breaker
+	// and redispatch counters) alongside the backend's scoring
 	// metrics, and mounts /metrics, /metrics.json and /debug/pprof/ on
 	// the server's own mux.
 	Metrics *obs.Registry
@@ -93,6 +129,12 @@ type Config struct {
 
 // withDefaults fills zero-valued limits.
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
@@ -102,8 +144,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchDocs <= 0 {
 		c.MaxBatchDocs = 4096
 	}
-	if c.MaxBatchDocs > c.QueueDepth {
-		c.MaxBatchDocs = c.QueueDepth
+	if perShard := (c.QueueDepth + c.Shards - 1) / c.Shards; c.MaxBatchDocs > perShard {
+		c.MaxBatchDocs = perShard
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
@@ -120,27 +162,27 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerOpenTimeout <= 0 {
+		c.BreakerOpenTimeout = 5 * time.Second
+	}
+	if c.RestartBackoff.BaseDelay <= 0 {
+		c.RestartBackoff.BaseDelay = 10 * time.Millisecond
+	}
+	if c.RestartBackoff.MaxDelay <= 0 {
+		c.RestartBackoff.MaxDelay = time.Second
+	}
 	return c
 }
 
 // errStopped is delivered to handlers whose documents were abandoned by
 // a deadline-expired shutdown.
 var errStopped = errors.New("serve: server stopped before the document was scored")
-
-// pendingDoc routes one in-flight document's result back to its
-// waiting request handler.
-type pendingDoc struct {
-	// userID is the caller-visible document ID, restored on delivery
-	// (the stream itself runs on server-assigned unique IDs).
-	userID string
-	// pos is the document's position within its request, delivered as
-	// Result.Index so batch handlers can reassemble input order.
-	pos int
-	// reply is the request's result channel, buffered for every
-	// document in the request: delivery never blocks the collector,
-	// even when the handler has already given up.
-	reply chan resilience.Result[core.StreamDoc]
-}
 
 // Server is the scoring service. Create with New, optionally bind with
 // Start, stop with Shutdown.
@@ -149,47 +191,64 @@ type Server struct {
 	mux *http.ServeMux
 	m   *serverMetrics
 
-	// in feeds the single long-lived backend scoring stream; out is
-	// its result stream. cancel aborts the backend on forced shutdown.
-	in     chan core.StreamDoc
-	out    <-chan resilience.Result[core.StreamDoc]
-	cancel context.CancelFunc
+	shards     []*shard
+	rootCancel context.CancelFunc
+	supDone    chan struct{} // closed when every shard supervisor has exited
 
-	nextID        atomic.Uint64
-	collectorDone chan struct{}
-	closeIn       sync.Once
+	nextID      atomic.Uint64
+	queuedTotal atomic.Int64 // aggregate admitted-unscored documents
+	isStopped   atomic.Bool  // set when the fleet is being torn down
 
-	mu       sync.Mutex
-	pending  map[string]pendingDoc
-	inflight int           // admitted score requests
-	queued   int           // admitted, not-yet-collected documents
-	draining bool          // no new admissions
-	drained  chan struct{} // closed when draining && inflight == 0
+	mu            sync.Mutex
+	inflight      int           // admitted score requests
+	draining      bool          // no new admissions
+	drained       chan struct{} // closed when draining && inflight == 0
+	abandonedReqs int           // requests force-failed at drain expiry
+	abandonedDocs int           // their documents
 
 	web *obshttp.Server // set by Start
 }
 
-// New builds the server and starts its shared scoring stream. The
-// returned server is immediately ready to handle requests (via Start
-// or Handler).
+// New builds the server and starts its shard fleet; it returns once
+// every shard's first generation is accepting documents.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:           cfg,
-		cancel:        cancel,
-		m:             newServerMetrics(cfg.Metrics),
-		in:            make(chan core.StreamDoc, cfg.QueueDepth),
-		pending:       make(map[string]pendingDoc),
-		collectorDone: make(chan struct{}),
+		cfg:        cfg,
+		rootCancel: rootCancel,
+		m:          newServerMetrics(cfg.Metrics, cfg.Shards),
+		supDone:    make(chan struct{}),
 	}
-	s.out = cfg.Backend.ScoreStream(ctx, s.in, core.StreamOptions{
-		Workers:  cfg.Workers,
-		Seed:     cfg.Seed,
-		Annotate: cfg.Annotate,
-		Metrics:  cfg.Metrics,
-	})
-	go s.collect()
+	totalWorkers := cfg.Workers
+	if totalWorkers <= 0 {
+		totalWorkers = runtime.GOMAXPROCS(0)
+	}
+	perWorkers := totalWorkers / cfg.Shards
+	if perWorkers < 1 {
+		perWorkers = 1
+	}
+	perDepth := (cfg.QueueDepth + cfg.Shards - 1) / cfg.Shards
+	if perDepth < 1 {
+		perDepth = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(s, i, perDepth, perWorkers)
+		s.shards = append(s.shards, sh)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.supervise(rootCtx)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.supDone)
+	}()
+	for _, sh := range s.shards {
+		<-sh.ready
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -218,46 +277,110 @@ func (s *Server) Addr() net.Addr {
 	return s.web.Addr()
 }
 
-// Stats is a point-in-time view of the admission state.
+// ShardStats is one shard's point-in-time state.
+type ShardStats struct {
+	ID      int
+	State   string // starting | running | down
+	Breaker string // closed | half-open | open
+	Gen     int    // current generation number
+	Queued  int    // admitted, unscored documents on this shard
+	Depth   int    // the shard's queue bound
+	// Lifetime counters.
+	Restarts     uint64 // failed generations (each one restarted)
+	Stalls       uint64 // generations killed by the heartbeat watchdog
+	Panics       uint64 // generations killed by a captured panic
+	Redispatched uint64 // documents moved off this shard's dead generations
+}
+
+// Stats is a point-in-time view of the admission state. Queued is
+// always the sum of the per-shard queues, so the aggregate and
+// per-shard views cannot disagree with the admission decisions taken
+// under the shard locks.
 type Stats struct {
 	// InFlight is the number of admitted score requests being served.
 	InFlight int
-	// Queued is the number of admitted documents not yet scored.
+	// Queued is the number of admitted documents not yet scored,
+	// summed across shards.
 	Queued int
+	// QueueCapacity is the total document capacity (sum of shard depths).
+	QueueCapacity int
+	// HealthyShards counts shards that are accepting and whose breaker
+	// is not open.
+	HealthyShards int
 	// Draining reports whether Shutdown has begun.
 	Draining bool
+	// Shards holds the per-shard detail.
+	Shards []ShardStats
 }
 
 // Stats returns the current admission state.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{InFlight: s.inflight, Queued: s.queued, Draining: s.draining}
+	st := Stats{InFlight: s.inflight, Draining: s.draining}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		ss := sh.stats()
+		st.Shards = append(st.Shards, ss)
+		st.Queued += ss.Queued
+		st.QueueCapacity += ss.Depth
+		if ss.State == shardRunning.String() && ss.Breaker != resilience.BreakerOpen.String() {
+			st.HealthyShards++
+		}
+	}
+	return st
 }
 
-// admit reserves one request slot and n document queue slots.
-// draining=true means the server is shutting down (503); ok=false with
-// draining=false means overload (429).
-func (s *Server) admit(n int) (ok, draining bool) {
+// Abandoned reports the requests (and their documents) force-failed
+// because Shutdown's context expired before the drain completed. Both
+// are zero after a clean drain.
+func (s *Server) Abandoned() (requests, docs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abandonedReqs, s.abandonedDocs
+}
+
+// ready reports whether a quorum of shards can take traffic: strictly
+// more than half the fleet is accepting with a non-open breaker.
+func (s *Server) ready() bool {
+	healthy := 0
+	for _, sh := range s.shards {
+		if sh.healthy() {
+			healthy++
+		}
+	}
+	return 2*healthy > len(s.shards)
+}
+
+// stopped reports whether the fleet is being torn down (redispatch
+// must answer errStopped instead of re-homing documents).
+func (s *Server) stopped() bool { return s.isStopped.Load() }
+
+// noteQueue tracks the aggregate queued-document gauge.
+func (s *Server) noteQueue(delta int) {
+	s.m.setQueue(int(s.queuedTotal.Add(int64(delta))))
+}
+
+// admitRequest reserves one request slot. draining=true means the
+// server is shutting down (503); ok=false with draining=false means
+// the in-flight bound is hit (429).
+func (s *Server) admitRequest() (ok, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return false, true
 	}
-	if s.inflight >= s.cfg.MaxInFlight || s.queued+n > s.cfg.QueueDepth {
+	if s.inflight >= s.cfg.MaxInFlight {
 		return false, false
 	}
 	s.inflight++
-	s.queued += n
 	s.m.setInFlight(s.inflight)
-	s.m.setQueue(s.queued)
 	return true, false
 }
 
 // releaseRequest returns an admitted request's slot and wakes a
 // drain-waiter once the last one finishes. Document slots are released
-// by the collector as results arrive, not here: an abandoned document
-// still occupies the queue until the pool has actually scored it.
+// by the shard collectors as results arrive, not here: an abandoned
+// document still occupies its queue until the shard has answered it.
 func (s *Server) releaseRequest() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,74 +392,38 @@ func (s *Server) releaseRequest() {
 	}
 }
 
-// enqueue registers docs under fresh internal IDs and feeds them to the
-// shared scoring stream. userIDs and positions are restored on
-// delivery. Admission already holds one queue slot per document and
-// cap(s.in) == QueueDepth, so the sends cannot block.
-func (s *Server) enqueue(docs []core.StreamDoc, userIDs []string, reply chan resilience.Result[core.StreamDoc]) {
-	s.mu.Lock()
+// enqueue routes one request's documents to a shard. entries are
+// built here from the parallel docs/userIDs slices.
+func (s *Server) enqueue(docs []core.StreamDoc, userIDs []string, reply chan resilience.Result[core.StreamDoc]) dispatchStatus {
+	entries := make([]pendingDoc, len(docs))
 	for i := range docs {
-		id := fmt.Sprintf("serve-%d", s.nextID.Add(1))
-		s.pending[id] = pendingDoc{userID: userIDs[i], pos: i, reply: reply}
-		docs[i].ID = id
+		entries[i] = pendingDoc{doc: docs[i], userID: userIDs[i], pos: i, reply: reply}
 	}
-	s.mu.Unlock()
-	for i := range docs {
-		s.in <- docs[i]
-	}
+	return s.dispatch(docs, entries)
 }
 
-// collect is the single consumer of the backend's result stream: it
-// releases each document's queue slot and routes the result back to
-// its request, with the caller's ID and request-local position
-// restored. When the stream closes under a forced shutdown, every
-// still-pending document is failed so no handler waits forever.
-func (s *Server) collect() {
-	defer close(s.collectorDone)
-	for res := range s.out {
-		s.mu.Lock()
-		p, ok := s.pending[res.Item.ID]
-		if ok {
-			delete(s.pending, res.Item.ID)
-			s.queued--
-			s.m.setQueue(s.queued)
+// failAllPending force-fails every document still pending on any
+// shard with errStopped, so no handler waits past a forced shutdown.
+// Returns the number of documents failed.
+func (s *Server) failAllPending() int {
+	total := 0
+	for _, sh := range s.shards {
+		lost := sh.sweepPending()
+		for _, p := range lost {
+			s.answerLost(p, errStopped)
 		}
-		s.mu.Unlock()
-		if !ok {
-			continue
-		}
-		res.Item.ID = p.userID
-		res.Index = p.pos
-		if res.Dead != nil {
-			dead := *res.Dead
-			dead.ID = p.userID
-			res.Dead = &dead
-		}
-		s.m.docScored(res.Status)
-		p.reply <- res
+		total += len(lost)
 	}
-	s.mu.Lock()
-	abandoned := s.pending
-	s.pending = make(map[string]pendingDoc)
-	s.queued = 0
-	s.m.setQueue(0)
-	s.mu.Unlock()
-	for _, p := range abandoned {
-		p.reply <- resilience.Result[core.StreamDoc]{
-			Index:  p.pos,
-			Item:   core.StreamDoc{ID: p.userID},
-			Status: resilience.StatusQuarantined,
-			Dead:   &resilience.DeadLetter{ID: p.userID, Stage: "serve", Err: errStopped},
-		}
-	}
+	return total
 }
 
 // Shutdown drains the server: stop admitting (readyz flips to 503 and
-// new score requests are refused), finish every accepted request, close
-// the scoring stream, and drain the HTTP listener, all bounded by ctx.
-// On ctx expiry the backend is aborted and remaining waiters receive
-// synthetic quarantine results. Safe to call more than once; returns
-// nil when every accepted request completed.
+// new score requests are refused), finish every accepted request —
+// including re-homing documents off any shard that dies mid-drain —
+// then stop the shard fleet and drain the HTTP listener, all bounded
+// by ctx. On ctx expiry remaining waiters receive synthetic
+// quarantine results and are counted in Abandoned. Safe to call more
+// than once; returns nil when every accepted request completed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	var drained chan struct{}
@@ -359,38 +446,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	var err error
-	drainOK := false
 	select {
 	case <-drained:
-		drainOK = true
 	default:
 		select {
 		case <-drained:
-			drainOK = true
 		case <-ctx.Done():
 			err = fmt.Errorf("serve: drain: %w", ctx.Err())
-			s.cancel()
-		}
-	}
-	if drainOK {
-		// Every accepted request has been answered; nothing will send
-		// on s.in again, so the stream can drain and close cleanly.
-		s.closeIn.Do(func() { close(s.in) })
-	}
-	select {
-	case <-s.collectorDone:
-	default:
-		select {
-		case <-s.collectorDone:
-		case <-ctx.Done():
-			if err == nil {
-				err = fmt.Errorf("serve: drain: %w", ctx.Err())
+			// Forced: answer every still-pending document so no
+			// handler blocks, and account the abandonment.
+			s.isStopped.Store(true)
+			docs := s.failAllPending()
+			s.mu.Lock()
+			if docs > 0 || s.inflight > 0 {
+				s.abandonedReqs = s.inflight
+				s.abandonedDocs = docs
 			}
-			s.cancel()
-			<-s.collectorDone
+			s.mu.Unlock()
 		}
 	}
-	s.cancel()
+
+	// Stop the fleet. On the clean path every pending table is empty,
+	// so the generation teardowns find nothing to redispatch. Shard
+	// tasks honour cancellation, so the supervisors exit within the
+	// bounded teardown flush.
+	s.isStopped.Store(true)
+	s.rootCancel()
+	<-s.supDone
 	if s.web != nil {
 		if werr := s.web.Close(ctx); werr != nil && err == nil {
 			err = fmt.Errorf("serve: http drain: %w", werr)

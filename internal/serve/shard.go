@@ -1,0 +1,509 @@
+package serve
+
+// One scoring shard: an independent failure domain with its own
+// bounded queue, its own backend scoring stream (own detector
+// session/pool via Backend.ScoreStream), its own pending table, and no
+// locks shared with other shards on the scoring path. A shard runs as
+// a sequence of supervised generations: when a generation dies — a
+// panic in the collect path, a heartbeat stall, a backend error — the
+// supervisor tears it down, the shard's in-flight documents are
+// re-dispatched exactly once to a healthy shard (or answered with a
+// terminal shard-unavailable result the handlers turn into 503 +
+// Retry-After), and a fresh generation is started under exponential
+// backoff. A per-shard circuit breaker keeps the router from queueing
+// into a shard that keeps dying.
+//
+// Ownership invariants, asserted by the -race chaos tests:
+//
+//   - every admitted document lives in exactly one shard's pending
+//     table at any moment; admission registers it under the shard lock
+//     in the same critical section that reserves its queue slot, so a
+//     dying generation's sweep always sees it;
+//   - a document's terminal answer is sent exactly once: delivery,
+//     redispatch and sweep all remove the pending entry under the
+//     shard lock before answering, and a late result whose entry is
+//     gone is dropped;
+//   - a document is re-dispatched at most once (pendingDoc.redispatched);
+//     losing its second shard yields the terminal errShardLost answer.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/resilience"
+)
+
+// FaultInjector injects serve-layer faults into a shard's collect
+// loop; implemented by chaos.ServePlan. BeforeDeliver runs in shard
+// `shard`'s generation `gen` before its n-th result is delivered. It
+// may panic (a shard panic, captured and converted into a generation
+// failure), block until ctx is done and return an error (a hard
+// stall: the supervisor's watchdog kills the generation), sleep
+// briefly (a latency spike), or return nil (no fault). Implementations
+// must honour ctx so a killed generation always unwinds.
+type FaultInjector interface {
+	BeforeDeliver(ctx context.Context, shard, gen, n int) error
+}
+
+// errShardLost is the terminal error for a document whose shard died
+// after its single redispatch (or with no healthy shard to take it).
+// Handlers convert it into 503 + Retry-After.
+var errShardLost = errors.New("serve: scoring shard lost; retry")
+
+// shardState is a shard's admission state.
+type shardState int32
+
+const (
+	shardStarting shardState = iota // first generation not yet open
+	shardRunning                    // generation open, accepting documents
+	shardDown                       // between generations (dead or restarting)
+)
+
+func (s shardState) String() string {
+	switch s {
+	case shardStarting:
+		return "starting"
+	case shardRunning:
+		return "running"
+	default:
+		return "down"
+	}
+}
+
+// pendingDoc is one admitted document awaiting its result: the routing
+// info to answer its request plus the input document itself, so a
+// dying shard can hand ownership to a healthy one.
+type pendingDoc struct {
+	// doc is the original input (platform/text), needed to re-enqueue
+	// on redispatch.
+	doc core.StreamDoc
+	// userID is the caller-visible document ID, restored on delivery
+	// (streams run on server-assigned unique IDs).
+	userID string
+	// pos is the document's position within its request, delivered as
+	// Result.Index so batch handlers can reassemble input order.
+	pos int
+	// reply is the request's result channel, buffered for every
+	// document in the request: delivery never blocks a collector.
+	reply chan resilience.Result[core.StreamDoc]
+	// redispatched marks a document already moved off one dead shard;
+	// it will not be moved again.
+	redispatched bool
+}
+
+// shard is one supervised scoring shard.
+type shard struct {
+	id      int
+	srv     *Server
+	depth   int // bounded queue depth (== cap of each generation's in channel)
+	workers int
+	breaker *resilience.Breaker
+	sm      *shardMetrics
+
+	mu      sync.Mutex
+	state   shardState
+	gen     int                   // current (or last) generation number
+	in      chan core.StreamDoc   // current generation's input channel
+	hb      *resilience.Heartbeat // current generation's heartbeat
+	pending map[string]pendingDoc
+	queued  int
+
+	// lifetime counters (under mu; mirrored to metrics).
+	restarts     uint64
+	stalls       uint64
+	panics       uint64
+	redispatched uint64
+
+	// ready is closed when the first generation opens: New waits for
+	// it so the server never refuses traffic during startup.
+	ready     chan struct{}
+	readyOnce sync.Once
+}
+
+func newShard(s *Server, id, depth, workers int) *shard {
+	sh := &shard{
+		id:      id,
+		srv:     s,
+		depth:   depth,
+		workers: workers,
+		pending: make(map[string]pendingDoc),
+		ready:   make(chan struct{}),
+		sm:      s.m.forShard(id),
+	}
+	sh.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: s.cfg.BreakerThreshold,
+		OpenTimeout:      s.cfg.BreakerOpenTimeout,
+		OnTransition: func(_, to resilience.BreakerState) {
+			sh.sm.setBreaker(to)
+		},
+	})
+	return sh
+}
+
+// supervise runs the shard's generations until rootCtx is cancelled.
+func (sh *shard) supervise(rootCtx context.Context) {
+	resilience.Supervise(rootCtx, resilience.SupervisorConfig{ //nolint:errcheck // exits are routed through onExit
+		Name:         fmt.Sprintf("shard-%d", sh.id),
+		Seed:         sh.srv.cfg.Seed,
+		Backoff:      sh.srv.cfg.RestartBackoff,
+		StallTimeout: sh.srv.cfg.StallTimeout,
+		HealthyAfter: 10 * time.Second,
+		OnExit:       sh.onExit,
+	}, sh.task)
+	// Supervision over (shutdown): make sure nothing routes here and
+	// any waiter on startup readiness is released.
+	sh.mu.Lock()
+	sh.state = shardDown
+	sh.mu.Unlock()
+	sh.readyOnce.Do(func() { close(sh.ready) })
+}
+
+// onExit records one failed generation: breaker failure, restart and
+// cause accounting.
+func (sh *shard) onExit(_ int, _ time.Duration, err error, _ time.Duration) {
+	sh.breaker.Failure()
+	sh.mu.Lock()
+	sh.restarts++
+	if errors.Is(err, resilience.ErrStalled) {
+		sh.stalls++
+	}
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		sh.panics++
+	}
+	sh.mu.Unlock()
+	sh.sm.generationFailed(err)
+}
+
+// task is one supervised generation: open a fresh backend stream and
+// queue, collect results until the generation dies or shuts down, then
+// tear down — flush already-computed results, sweep the pending table,
+// and hand the survivors to the server for redispatch.
+func (sh *shard) task(gctx context.Context, gen int, hb *resilience.Heartbeat) error {
+	sctx, scancel := context.WithCancel(gctx)
+	defer scancel()
+	in := make(chan core.StreamDoc, sh.depth)
+	out := sh.srv.cfg.Backend.ScoreStream(sctx, in, core.StreamOptions{
+		Workers:  sh.workers,
+		Seed:     sh.srv.cfg.Seed,
+		Annotate: sh.srv.cfg.Annotate,
+		Metrics:  sh.srv.cfg.Metrics,
+	})
+	sh.openGen(gen, in, hb)
+
+	err := sh.collect(gctx, gen, out, hb)
+
+	sh.closeGen()
+	scancel()
+	sh.drainOut(out)
+	lost := sh.sweepPending()
+	if moved := sh.srv.redispatch(lost); moved > 0 {
+		sh.noteRedispatched(moved)
+	}
+	return err
+}
+
+// openGen publishes a new generation's queue and heartbeat and starts
+// accepting documents. The carried-over queue is always empty here:
+// closeGen + sweep ran before the previous generation's task returned.
+func (sh *shard) openGen(gen int, in chan core.StreamDoc, hb *resilience.Heartbeat) {
+	sh.mu.Lock()
+	sh.gen = gen
+	sh.in = in
+	sh.hb = hb
+	sh.state = shardRunning
+	sh.mu.Unlock()
+	sh.sm.setState(shardRunning)
+	sh.readyOnce.Do(func() { close(sh.ready) })
+}
+
+// closeGen stops admissions to the current generation.
+func (sh *shard) closeGen() {
+	sh.mu.Lock()
+	sh.state = shardDown
+	sh.mu.Unlock()
+	sh.sm.setState(shardDown)
+}
+
+// collect is the generation's single result consumer. Panics (its own
+// or injected) are captured as the generation error so the teardown in
+// task always runs.
+func (sh *shard) collect(gctx context.Context, gen int, out <-chan resilience.Result[core.StreamDoc], hb *resilience.Heartbeat) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &resilience.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	inj := sh.srv.cfg.Faults
+	for n := 0; ; n++ {
+		select {
+		case res, ok := <-out:
+			if !ok {
+				return nil
+			}
+			if inj != nil {
+				if ferr := inj.BeforeDeliver(gctx, sh.id, gen, n); ferr != nil {
+					// The held result is not delivered: its document
+					// stays pending and is redispatched by the sweep.
+					return ferr
+				}
+			}
+			hb.Beat()
+			sh.deliver(res)
+		case <-gctx.Done():
+			return gctx.Err()
+		}
+	}
+}
+
+// admit reserves queue slots for docs and registers their pending
+// entries in one critical section, returning the generation input
+// channel to send on. ok=false reasons: the shard is not running or
+// its breaker refused (unavailable=true), or the queue is full. After
+// ok=true the sends cannot block (cap(in) == depth and every slot is
+// reserved here) and in is never closed, so the caller may send
+// outside the lock even if the generation dies meanwhile — the swept
+// entries are redispatched.
+func (sh *shard) admit(docs []core.StreamDoc, entries []pendingDoc) (in chan<- core.StreamDoc, ok, unavailable bool) {
+	sh.mu.Lock()
+	if sh.state != shardRunning {
+		sh.mu.Unlock()
+		return nil, false, true
+	}
+	if sh.queued+len(docs) > sh.depth {
+		sh.mu.Unlock()
+		return nil, false, false
+	}
+	if !sh.breaker.Allow() {
+		sh.mu.Unlock()
+		return nil, false, true
+	}
+	sh.queued += len(docs)
+	sh.hb.AddBusy(len(docs))
+	genIn := sh.in
+	for i := range docs {
+		id := fmt.Sprintf("serve-%d", sh.srv.nextID.Add(1))
+		docs[i].ID = id
+		sh.pending[id] = entries[i]
+	}
+	queued := sh.queued
+	sh.mu.Unlock()
+	sh.sm.setQueue(queued)
+	sh.srv.noteQueue(len(docs))
+	return genIn, true, false
+}
+
+// deliver routes one backend result to its waiting request, releasing
+// the document's queue slot. Results whose pending entry is gone
+// (redispatched or already settled) are dropped: the entry owner
+// answered or will answer.
+func (sh *shard) deliver(res resilience.Result[core.StreamDoc]) {
+	sh.mu.Lock()
+	p, ok := sh.pending[res.Item.ID]
+	if ok {
+		delete(sh.pending, res.Item.ID)
+		sh.queued--
+		sh.hb.AddBusy(-1)
+	}
+	queued := sh.queued
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	sh.sm.setQueue(queued)
+	sh.srv.noteQueue(-1)
+	sh.breaker.Success()
+	res.Item.ID = p.userID
+	res.Index = p.pos
+	if res.Dead != nil {
+		dead := *res.Dead
+		dead.ID = p.userID
+		res.Dead = &dead
+	}
+	sh.srv.m.docScored(res.Status)
+	p.reply <- res
+}
+
+// drainOut flushes results the backend had already computed when the
+// generation was cancelled, bounded so a wedged backend cannot pin the
+// restart. Flushed results are delivered normally (their documents
+// need no redispatch); no faults are injected post-mortem.
+func (sh *shard) drainOut(out <-chan resilience.Result[core.StreamDoc]) {
+	t := time.NewTimer(drainFlushTimeout)
+	defer t.Stop()
+	for {
+		select {
+		case res, ok := <-out:
+			if !ok {
+				return
+			}
+			sh.deliver(res)
+		case <-t.C:
+			return
+		}
+	}
+}
+
+// sweepPending takes ownership of every document the dead generation
+// still held.
+func (sh *shard) sweepPending() map[string]pendingDoc {
+	sh.mu.Lock()
+	lost := sh.pending
+	sh.pending = make(map[string]pendingDoc)
+	n := sh.queued
+	sh.queued = 0
+	sh.mu.Unlock()
+	if n > 0 {
+		sh.sm.setQueue(0)
+		sh.srv.noteQueue(-n)
+	}
+	return lost
+}
+
+// stats snapshots the shard under its lock.
+func (sh *shard) stats() ShardStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ShardStats{
+		ID:           sh.id,
+		State:        sh.state.String(),
+		Breaker:      sh.breaker.State().String(),
+		Gen:          sh.gen,
+		Queued:       sh.queued,
+		Depth:        sh.depth,
+		Restarts:     sh.restarts,
+		Stalls:       sh.stalls,
+		Panics:       sh.panics,
+		Redispatched: sh.redispatched,
+	}
+}
+
+// healthy reports whether the router should consider this shard: it is
+// accepting and its breaker is not open. (Half-open counts: probes are
+// how a recovered shard re-earns traffic.)
+func (sh *shard) healthy() bool {
+	sh.mu.Lock()
+	running := sh.state == shardRunning
+	sh.mu.Unlock()
+	return running && sh.breaker.State() != resilience.BreakerOpen
+}
+
+// queueLen reads the shard's queue depth for least-loaded routing.
+func (sh *shard) queueLen() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.queued
+}
+
+// noteRedispatched counts documents moved off this shard.
+func (sh *shard) noteRedispatched(n int) {
+	sh.mu.Lock()
+	sh.redispatched += uint64(n)
+	sh.mu.Unlock()
+	sh.sm.redispatched(n)
+}
+
+// dispatchStatus classifies a routing attempt.
+type dispatchStatus int
+
+const (
+	dispatchOK          dispatchStatus = iota
+	dispatchFull                       // healthy shards exist but none had queue space: 429
+	dispatchUnavailable                // no shard was accepting traffic at all: 503
+)
+
+// dispatch routes one request's documents to a single shard (keeping a
+// request's documents together preserves the per-request reply
+// machinery and bounds cross-shard fan-out): least-queued healthy
+// shard first. entries[i] must describe docs[i].
+func (s *Server) dispatch(docs []core.StreamDoc, entries []pendingDoc) dispatchStatus {
+	order := s.shardsByLoad()
+	sawFull := false
+	for _, sh := range order {
+		in, ok, _ := sh.admit(docs, entries)
+		if ok {
+			for i := range docs {
+				in <- docs[i]
+			}
+			return dispatchOK
+		}
+		if sh.healthy() {
+			sawFull = true
+		}
+	}
+	if sawFull {
+		return dispatchFull
+	}
+	return dispatchUnavailable
+}
+
+// shardsByLoad returns the shards sorted by current queue length
+// (ascending), a cheap least-loaded router over a small fixed fleet.
+func (s *Server) shardsByLoad() []*shard {
+	order := make([]*shard, len(s.shards))
+	copy(order, s.shards)
+	loads := make([]int, len(order))
+	for i, sh := range order {
+		loads[i] = sh.queueLen()
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && loads[j] < loads[j-1]; j-- {
+			loads[j], loads[j-1] = loads[j-1], loads[j]
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// redispatch re-homes documents swept off a dead generation: each is
+// moved exactly once to a healthy shard, or answered with the terminal
+// errShardLost result. During a forced shutdown the documents are
+// answered with errStopped instead, like every other abandoned waiter.
+// Returns the number successfully re-homed.
+func (s *Server) redispatch(lost map[string]pendingDoc) int {
+	if len(lost) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, p := range lost {
+		if s.stopped() {
+			s.answerLost(p, errStopped)
+			continue
+		}
+		if p.redispatched {
+			s.answerLost(p, errShardLost)
+			continue
+		}
+		docs := []core.StreamDoc{p.doc}
+		entries := []pendingDoc{{doc: p.doc, userID: p.userID, pos: p.pos, reply: p.reply, redispatched: true}}
+		if s.dispatch(docs, entries) == dispatchOK {
+			moved++
+			continue
+		}
+		s.answerLost(p, errShardLost)
+	}
+	if moved > 0 {
+		s.m.redispatches(moved)
+	}
+	return moved
+}
+
+// answerLost delivers the terminal failure answer for a document whose
+// shard died without scoring it.
+func (s *Server) answerLost(p pendingDoc, cause error) {
+	if errors.Is(cause, errShardLost) {
+		s.m.redispatchFailed()
+	}
+	s.m.docScored(resilience.StatusQuarantined)
+	p.reply <- resilience.Result[core.StreamDoc]{
+		Index:  p.pos,
+		Item:   core.StreamDoc{ID: p.userID},
+		Status: resilience.StatusQuarantined,
+		Dead:   &resilience.DeadLetter{ID: p.userID, Stage: "serve-shard", Err: cause},
+	}
+}

@@ -1,0 +1,545 @@
+package serve
+
+// Chaos certification for the sharded serving layer, run under -race by
+// check.sh: under seeded shard panics and stalls, every admitted
+// request gets exactly one terminal answer — scored identically to a
+// fault-free run, or a terminal 503 — never dropped and never scored
+// twice; the faulted shard restarts and its breaker re-closes once the
+// faults stop.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/resilience"
+	"harassrepro/internal/resilience/chaos"
+)
+
+// goldenScore is the deterministic text-derived score the chaos tests
+// compare against: a faulted run must produce exactly these values for
+// every OK document, whichever shard (or shards) handled it.
+func goldenScore(text string) (cth, dox float64) {
+	h := 0
+	for _, r := range text {
+		h = h*31 + int(r)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return float64(h%1000) / 1000, float64(h%97) / 97
+}
+
+// goldenBackend scores every document as a pure function of its text on
+// a real resilience runner, so score equality across redispatch is a
+// meaningful assertion.
+type goldenBackend struct {
+	delay time.Duration
+}
+
+func (g *goldenBackend) ScoreStream(ctx context.Context, in <-chan core.StreamDoc, opts core.StreamOptions) <-chan resilience.Result[core.StreamDoc] {
+	stage := resilience.Stage[core.StreamDoc]{
+		Name: "golden-score",
+		Fn: func(ctx context.Context, _ int, sd *core.StreamDoc) error {
+			if g.delay > 0 {
+				select {
+				case <-time.After(g.delay):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			sd.CTH, sd.Dox = goldenScore(sd.Text)
+			return nil
+		},
+	}
+	return resilience.NewRunner(resilience.Config[core.StreamDoc]{
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+		Metrics: opts.Metrics,
+	}, stage).Process(ctx, in)
+}
+
+// injectFunc adapts a function to the FaultInjector interface.
+type injectFunc func(ctx context.Context, shard, gen, n int) error
+
+func (f injectFunc) BeforeDeliver(ctx context.Context, shard, gen, n int) error {
+	return f(ctx, shard, gen, n)
+}
+
+// shardByID finds one shard's stats.
+func shardByID(t *testing.T, st Stats, id int) ShardStats {
+	t.Helper()
+	for _, ss := range st.Shards {
+		if ss.ID == id {
+			return ss
+		}
+	}
+	t.Fatalf("no shard %d in %+v", id, st.Shards)
+	return ShardStats{}
+}
+
+func TestChaosCertificationNoLossNoDoubleScore(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	plan := &chaos.ServePlan{
+		Seed:      7,
+		PanicRate: 0.08,
+		Targets:   map[int]bool{0: true},
+		MaxFaults: 40,
+	}
+	s := New(Config{
+		Backend:            &goldenBackend{},
+		Shards:             3,
+		Workers:            3,
+		QueueDepth:         96,
+		BreakerThreshold:   2,
+		BreakerOpenTimeout: 50 * time.Millisecond,
+		StallTimeout:       500 * time.Millisecond,
+		RestartBackoff:     resilience.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		RequestTimeout:     10 * time.Second,
+		Faults:             plan,
+		Metrics:            reg,
+	})
+	ts := newHTTPFront(t, s)
+
+	const clients, perClient = 8, 40
+	var (
+		sent      atomic.Int64
+		okCount   atomic.Int64
+		lostCount atomic.Int64
+		mu        sync.Mutex
+		bad       []string
+	)
+	post := func(client, n int) {
+		text := fmt.Sprintf("chaos doc %d-%d", client, n)
+		sent.Add(1)
+		resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"id":"c%d-%d","text":%q}`, client, n, text)))
+		if err != nil {
+			mu.Lock()
+			bad = append(bad, fmt.Sprintf("req %d-%d: transport error %v", client, n, err))
+			mu.Unlock()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res ScoreResult
+			if err := json.Unmarshal(body, &res); err != nil {
+				t.Errorf("bad body %s: %v", body, err)
+				return
+			}
+			wantCTH, wantDox := goldenScore(text)
+			if res.CTH != wantCTH || res.Dox != wantDox {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: scores (%v,%v) != golden (%v,%v)",
+					client, n, res.CTH, res.Dox, wantCTH, wantDox))
+				mu.Unlock()
+				return
+			}
+			okCount.Add(1)
+		case http.StatusServiceUnavailable:
+			// Terminal shard-lost (redispatch exhausted) or no shard
+			// available: allowed, but must carry Retry-After.
+			if resp.Header.Get("Retry-After") == "" {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: 503 without Retry-After", client, n))
+				mu.Unlock()
+				return
+			}
+			lostCount.Add(1)
+		default:
+			mu.Lock()
+			bad = append(bad, fmt.Sprintf("req %d-%d: unexpected status %d body %s", client, n, resp.StatusCode, body))
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for n := 0; n < perClient; n++ {
+				post(client, n)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, b := range bad {
+		t.Error(b)
+	}
+
+	// Exactly one terminal answer per admitted request: nothing lost.
+	if got := okCount.Load() + lostCount.Load(); got != sent.Load() {
+		t.Errorf("answers = %d (ok %d + lost %d), want %d", got, okCount.Load(), lostCount.Load(), sent.Load())
+	}
+
+	// The faulted shard actually suffered: generations died and their
+	// in-flight documents were moved.
+	sh0 := shardByID(t, s.Stats(), 0)
+	if plan.Disrupted() == 0 || sh0.Restarts == 0 {
+		t.Errorf("chaos did not bite: %d faults injected, shard 0 restarts = %d", plan.Disrupted(), sh0.Restarts)
+	}
+	if sh0.Panics == 0 {
+		t.Errorf("shard 0 panics = 0, want > 0 (stats %+v)", sh0)
+	}
+
+	// Self-healing: with the fault budget exhausted, trickle traffic
+	// until every shard is running with a closed breaker again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.HealthyShards == len(st.Shards) && shardByID(t, st, 0).Breaker == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard fleet never re-healed: %+v", st.Shards)
+		}
+		post(99, int(sent.Load()))
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Exactly-once at the metrics layer: every admitted document was
+	// answered exactly once, so terminal doc answers == admitted docs.
+	// (A double delivery would overcount; a dropped one would hang a
+	// request above.)
+	answered := okCount.Load() + lostCount.Load()
+	var docsTotal float64
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == "serve_docs_total" && m.Value != nil {
+			docsTotal += float64(*m.Value)
+		}
+	}
+	if int64(docsTotal) != answered {
+		t.Errorf("serve_docs_total = %v, want %d (exactly one terminal answer per doc)", docsTotal, answered)
+	}
+
+	// Redispatch accounting is visible: moved + failed covers every doc
+	// swept off dead generations.
+	snap := reg.Snapshot()
+	moved := snap.CounterValue("serve_redispatch_total")
+	failed := snap.CounterValue("serve_redispatch_failed_total")
+	if moved == 0 && lostCount.Load() == 0 {
+		t.Error("no documents redispatched and none failed: panics never hit in-flight work?")
+	}
+	if int64(failed) != lostCount.Load() {
+		t.Errorf("serve_redispatch_failed_total = %v, want %d (one per 503 shard-lost answer)", failed, lostCount.Load())
+	}
+
+	// Queue accounting converged: aggregate gauge, per-shard gauges and
+	// Stats agree at quiescence (satellite: 429 admission and metrics
+	// cannot disagree).
+	st := s.Stats()
+	if st.Queued != 0 || st.InFlight != 0 {
+		t.Errorf("post-load stats = %+v, want drained", st)
+	}
+	var perShard float64
+	for _, m := range snap.Metrics {
+		if m.Name == "serve_shard_queue_depth" && m.Value != nil {
+			perShard += float64(*m.Value)
+		}
+	}
+	if agg := snap.CounterValue("serve_queue_depth"); agg != 0 || perShard != 0 {
+		t.Errorf("queue gauges at quiescence: aggregate %v, per-shard sum %v, want 0", agg, perShard)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	ts.Close()
+	waitForGoroutines(t, before)
+}
+
+func TestChaosStallIsKilledAndRedispatched(t *testing.T) {
+	var stalled atomic.Int64
+	inj := injectFunc(func(ctx context.Context, shard, gen, n int) error {
+		// First delivery on shard 0 wedges until the watchdog kills the
+		// generation; everything else flows.
+		if shard == 0 && gen == 0 && n == 0 && stalled.Add(1) == 1 {
+			<-ctx.Done()
+			return fmt.Errorf("test stall: %w", ctx.Err())
+		}
+		return nil
+	})
+	s := New(Config{
+		Backend:        &goldenBackend{},
+		Shards:         2,
+		Workers:        2,
+		StallTimeout:   50 * time.Millisecond,
+		RestartBackoff: resilience.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		RequestTimeout: 10 * time.Second,
+		Faults:         inj,
+	})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	// Keep posting until the stall has fired; the stalled document must
+	// still be answered 200 off the healthy shard.
+	deadline := time.Now().Add(5 * time.Second)
+	hit := false
+	for i := 0; !hit; i++ {
+		text := fmt.Sprintf("stall doc %d", i)
+		code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", fmt.Sprintf(`{"text":%q}`, text))
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, code, body)
+		}
+		var res ScoreResult
+		if err := json.Unmarshal([]byte(body), &res); err != nil {
+			t.Fatal(err)
+		}
+		if c, d := goldenScore(text); res.CTH != c || res.Dox != d {
+			t.Fatalf("request %d: scores %+v, want (%v,%v)", i, res, c, d)
+		}
+		hit = stalled.Load() > 0 && shardByID(t, s.Stats(), 0).Stalls > 0
+		if time.Now().After(deadline) {
+			t.Fatalf("stall never detected: injected=%d stats=%+v", stalled.Load(), s.Stats().Shards)
+		}
+	}
+	sh0 := shardByID(t, s.Stats(), 0)
+	if sh0.Stalls == 0 || sh0.Restarts == 0 {
+		t.Errorf("shard 0 = %+v, want stall-kill and restart recorded", sh0)
+	}
+}
+
+func TestRedispatchExhaustedAnswers503WithRetryAfter(t *testing.T) {
+	// Single shard: a panic mid-flight leaves no healthy shard to take
+	// the swept document, so the answer is the terminal shard-lost 503.
+	var fired atomic.Int64
+	inj := injectFunc(func(_ context.Context, shard, gen, n int) error {
+		if fired.Add(1) == 1 {
+			panic("test: shard explosion with nowhere to go")
+		}
+		return nil
+	})
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Backend:        &goldenBackend{},
+		Shards:         1,
+		Workers:        1,
+		RestartBackoff: resilience.RetryPolicy{BaseDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond},
+		RequestTimeout: 5 * time.Second,
+		Faults:         inj,
+		Metrics:        reg,
+	})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	code, body, hdr := postJSON(t, ts.Client(), ts.URL+"/v1/score", `{"text":"doomed document"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d body %s, want 503", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("terminal shard-lost 503 lacks Retry-After")
+	}
+	if !strings.Contains(body, "shard lost") {
+		t.Errorf("body = %s, want shard-lost explanation", body)
+	}
+	if got := reg.Snapshot().CounterValue("serve_redispatch_failed_total"); got != 1 {
+		t.Errorf("serve_redispatch_failed_total = %v, want 1", got)
+	}
+	// The shard heals and the next request scores normally.
+	waitFor(t, 5*time.Second, func() bool { return shardByID(t, s.Stats(), 0).State == "running" })
+	code, body, _ = postJSON(t, ts.Client(), ts.URL+"/v1/score", `{"text":"healed"}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-heal status = %d body %s", code, body)
+	}
+}
+
+func TestReadyzQuorumDegraded(t *testing.T) {
+	// Two shards, shard 0 panicking on every delivery with a
+	// one-failure breaker: once its breaker opens, only 1/2 shards are
+	// healthy — no quorum — and readyz must report 503 degraded while
+	// score traffic still succeeds on the survivor.
+	inj := injectFunc(func(_ context.Context, shard, _, _ int) error {
+		if shard == 0 {
+			panic("test: shard 0 always dies")
+		}
+		return nil
+	})
+	s := New(Config{
+		Backend:            &goldenBackend{},
+		Shards:             2,
+		Workers:            2,
+		BreakerThreshold:   1,
+		BreakerOpenTimeout: time.Hour, // stays open for the whole test
+		RestartBackoff:     resilience.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		RequestTimeout:     10 * time.Second,
+		Faults:             inj,
+	})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	// Drive traffic until shard 0's breaker opens. Every request must
+	// still get a 200: the survivor picks up redispatched documents.
+	deadline := time.Now().Add(10 * time.Second)
+	for shardByID(t, s.Stats(), 0).Breaker != "open" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: %+v", s.Stats().Shards)
+		}
+		code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", `{"text":"quorum probe"}`)
+		if code != http.StatusOK {
+			t.Fatalf("status = %d body %s, want 200 via healthy shard", code, body)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d (%s), want 503 without quorum", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "degraded") {
+		t.Errorf("/readyz body = %q, want degraded detail", b)
+	}
+	// Liveness is unaffected and scoring still works.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", `{"text":"still serving"}`)
+	if code != http.StatusOK {
+		t.Errorf("degraded-mode score = %d body %s, want 200", code, body)
+	}
+}
+
+func TestStatsQueueAccountingMatchesAdmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Backend:        &goldenBackend{delay: 50 * time.Millisecond},
+		Shards:         2,
+		Workers:        2,
+		QueueDepth:     8,
+		MaxInFlight:    32,
+		RequestTimeout: 10 * time.Second,
+		Metrics:        reg,
+	})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	st := s.Stats()
+	if st.QueueCapacity != 8 || len(st.Shards) != 2 {
+		t.Fatalf("stats = %+v, want capacity 8 over 2 shards", st)
+	}
+
+	done := make(chan int, 6)
+	for i := 0; i < 6; i++ {
+		go func(i int) {
+			code, _, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", fmt.Sprintf(`{"text":"slow %d"}`, i))
+			done <- code
+		}(i)
+	}
+	// While work is queued, the aggregate is exactly the per-shard sum.
+	waitFor(t, 2*time.Second, func() bool { return s.Stats().Queued > 0 })
+	st = s.Stats()
+	sum := 0
+	for _, ss := range st.Shards {
+		sum += ss.Queued
+		if ss.Queued > ss.Depth {
+			t.Errorf("shard %d queued %d over depth %d", ss.ID, ss.Queued, ss.Depth)
+		}
+	}
+	if st.Queued != sum {
+		t.Errorf("Stats.Queued = %d, per-shard sum = %d: views disagree", st.Queued, sum)
+	}
+	for i := 0; i < 6; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Errorf("request %d = %d, want 200", i, code)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.Stats().Queued == 0 })
+	// At quiescence every view is zero, including both gauge layers.
+	snap := reg.Snapshot()
+	var perShard float64
+	for _, m := range snap.Metrics {
+		if m.Name == "serve_shard_queue_depth" && m.Value != nil {
+			perShard += float64(*m.Value)
+		}
+	}
+	if agg := snap.CounterValue("serve_queue_depth"); agg != 0 || perShard != 0 {
+		t.Errorf("gauges at quiescence: aggregate %v, per-shard sum %v", agg, perShard)
+	}
+}
+
+func TestParseServePlanRoundTrip(t *testing.T) {
+	p, err := chaos.ParseServePlan("seed=7,panic=0.02,stall=0.004,spike=0.05,spike-ms=20,shards=0+2,max-faults=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.PanicRate != 0.02 || p.StallRate != 0.004 || p.SpikeRate != 0.05 ||
+		p.Spike != 20*time.Millisecond || p.MaxFaults != 40 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if !p.Targets[0] || p.Targets[1] || !p.Targets[2] {
+		t.Fatalf("targets = %+v, want shards 0 and 2", p.Targets)
+	}
+	if p2, err := chaos.ParseServePlan("  "); err != nil || p2 != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", p2, err)
+	}
+	for _, bad := range []string{"panic=2", "seed=x", "spike-ms=-1", "shards=a", "nope=1", "panic"} {
+		if _, err := chaos.ParseServePlan(bad); err == nil {
+			t.Errorf("ParseServePlan(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// newHTTPFront wraps a server in an httptest front end without
+// registering cleanup (tests that assert goroutine counts manage
+// shutdown themselves).
+func newHTTPFront(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(s.Handler())
+}
+
+// shutdownServer is the common deferred teardown.
+func shutdownServer(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	ts.Close()
+}
+
+// waitForGoroutines asserts the goroutine count settles back near the
+// baseline: no leaked shard, supervisor or handler goroutines.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: before=%d after=%d\n%s", before, now, buf[:n])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -3,8 +3,13 @@
 # starts harassd on an ephemeral port (training quick-scale classifiers
 # at startup), drives it with concurrent clients, curl-smokes every
 # endpoint, then SIGTERMs mid-idle and asserts a clean drain (exit 0).
-# Throughput and latency percentiles land in BENCH_serve.json at the
-# repo root.
+#
+# Two load phases land in BENCH_serve.json at the repo root:
+#
+#   healthy — the full shard fleet serving normally;
+#   faulted — the same fleet with 1 of 4 shards continuously failing
+#             under a seeded chaos plan, measuring the throughput and
+#             p99 cost of riding through a persistent shard incident.
 #
 # Usage: scripts/bench_serve.sh [-clients N] [-duration D]
 set -euo pipefail
@@ -20,6 +25,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+faultplan='seed=3,panic=0.03,shards=0'
+
 workdir=$(mktemp -d)
 log="$workdir/harassd.log"
 cleanup() {
@@ -32,50 +39,88 @@ echo "== build harassd + loadgen"
 go build -o "$workdir/harassd" ./cmd/harassd
 go build -o "$workdir/loadgen" ./cmd/loadgen
 
-echo "== start harassd (ephemeral port, quick-scale training)"
-"$workdir/harassd" -addr 127.0.0.1:0 -scale quick 2>"$log" &
-pid=$!
+# start_harassd LOGFILE [extra flags...] — starts a server, waits for
+# readiness, and sets $pid and $addr.
+start_harassd() {
+  local logfile=$1; shift
+  "$workdir/harassd" -addr 127.0.0.1:0 -scale quick -shards 4 "$@" 2>"$logfile" &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 150); do
+    addr=$(sed -n 's|.*listening on http://||p' "$logfile")
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$logfile" >&2; echo "harassd died during startup" >&2; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$addr" ]] || { cat "$logfile" >&2; echo "harassd never reported an address" >&2; exit 1; }
+  for _ in $(seq 1 50); do
+    curl -sf "http://$addr/readyz" >/dev/null && break
+    sleep 0.1
+  done
+}
 
-addr=""
-for _ in $(seq 1 150); do
-  addr=$(sed -n 's|.*listening on http://||p' "$log")
-  [[ -n "$addr" ]] && break
-  kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; echo "harassd died during startup" >&2; exit 1; }
-  sleep 0.2
-done
-[[ -n "$addr" ]] || { cat "$log" >&2; echo "harassd never reported an address" >&2; exit 1; }
+# stop_harassd LOGFILE — SIGTERM and assert a clean drain.
+stop_harassd() {
+  local logfile=$1
+  kill -TERM "$pid"
+  local rc=0
+  wait "$pid" || rc=$?
+  pid=""
+  if [[ $rc -ne 0 ]]; then
+    cat "$logfile" >&2
+    echo "harassd exited $rc after SIGTERM (want 0)" >&2
+    exit 1
+  fi
+  grep -q "drained cleanly" "$logfile" || { cat "$logfile" >&2; echo "missing clean-drain log line" >&2; exit 1; }
+}
+
+echo "== start harassd (ephemeral port, quick-scale training)"
+start_harassd "$log"
 echo "   harassd at $addr (pid $pid)"
 
-for _ in $(seq 1 50); do
-  curl -sf "http://$addr/readyz" >/dev/null && break
-  sleep 0.1
-done
-
 echo "== endpoint smoke"
-curl -sf -X POST "http://$addr/v1/score" \
-  -d '{"id":"s","platform":"discord","text":"everyone mass report his channel"}' | grep -q '"status":"ok"'
-printf '%s\n%s\n' \
+# Capture each response before grepping: `curl | grep -q` races grep's
+# early exit against curl's final write (curl exit 23 under pipefail).
+body=$(curl -sf -X POST "http://$addr/v1/score" \
+  -d '{"id":"s","platform":"discord","text":"everyone mass report his channel"}')
+grep -q '"status":"ok"' <<<"$body"
+body=$(printf '%s\n%s\n' \
   '{"id":"b1","platform":"gab","text":"dropping her address 99 cedar lane"}' \
   'not json' |
-  curl -sf -X POST "http://$addr/v1/score/batch" --data-binary @- |
-  grep -q '"bad_lines":1'
-curl -sf "http://$addr/healthz" | grep -q ok
-curl -sf "http://$addr/metrics" | grep -q serve_requests_total
+  curl -sf -X POST "http://$addr/v1/score/batch" --data-binary @-)
+grep -q '"bad_lines":1' <<<"$body"
+body=$(curl -sf "http://$addr/healthz")
+grep -q ok <<<"$body"
+body=$(curl -sf "http://$addr/metrics")
+grep -q serve_requests_total <<<"$body"
+grep -q serve_shard_queue_depth <<<"$body"
 
-echo "== loadgen ($clients clients, $duration)"
+echo "== healthy load ($clients clients, $duration)"
 "$workdir/loadgen" -addr "$addr" -clients "$clients" -duration "$duration" \
-  -batch-every 10 -batch-docs 16 -out BENCH_serve.json
+  -batch-every 10 -batch-docs 16 -out "$workdir/healthy.json"
 
 echo "== graceful shutdown (SIGTERM)"
-kill -TERM "$pid"
-rc=0
-wait "$pid" || rc=$?
-pid=""
-if [[ $rc -ne 0 ]]; then
-  cat "$log" >&2
-  echo "harassd exited $rc after SIGTERM (want 0)" >&2
-  exit 1
-fi
-grep -q "drained cleanly" "$log" || { cat "$log" >&2; echo "missing clean-drain log line" >&2; exit 1; }
+stop_harassd "$log"
 
-echo "OK — BENCH_serve.json written"
+echo "== start harassd with 1/4 shards continuously failing ($faultplan)"
+faultlog="$workdir/harassd_faulted.log"
+start_harassd "$faultlog" -chaos "$faultplan"
+echo "   harassd at $addr (pid $pid)"
+
+echo "== faulted load ($clients clients, $duration)"
+"$workdir/loadgen" -addr "$addr" -clients "$clients" -duration "$duration" \
+  -batch-every 10 -batch-docs 16 -out "$workdir/faulted.json"
+
+echo "== graceful shutdown under chaos (SIGTERM)"
+stop_harassd "$faultlog"
+
+# Compose the two phases into one JSON document.
+{
+  printf '{\n"healthy": '
+  cat "$workdir/healthy.json"
+  printf ',\n"faulted": '
+  cat "$workdir/faulted.json"
+  printf '}\n'
+} > BENCH_serve.json
+
+echo "OK — BENCH_serve.json written (healthy + faulted)"

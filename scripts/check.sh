@@ -50,10 +50,19 @@ if [[ $fast -eq 0 ]]; then
   scripts/bench_pipeline.sh
 
   # Serving smoke + benchmark: harassd on an ephemeral port, endpoint
-  # curls, concurrent load, and a SIGTERM that must drain to exit 0;
-  # throughput and latency percentiles land in BENCH_serve.json.
+  # curls, concurrent load in a healthy phase and a phase with 1 of 4
+  # shards continuously failing, and SIGTERMs that must drain to exit
+  # 0; both phases' throughput and latency percentiles land in
+  # BENCH_serve.json.
   echo "== serving benchmark (BENCH_serve.json)"
   scripts/bench_serve.sh
+
+  # Chaos certification against a live harassd: a deterministic seeded
+  # fault plan (shard panics, stalls, latency spikes) must lose zero
+  # admitted requests, restart the faulted shard, and still drain
+  # cleanly on SIGTERM.
+  echo "== chaos-serve certification"
+  scripts/chaos_serve.sh
 fi
 
 echo "OK"
