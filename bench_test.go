@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"harassrepro/internal/features"
+	"harassrepro/internal/pii"
 	"harassrepro/internal/tokenize"
 )
 
@@ -293,14 +294,18 @@ func BenchmarkFeaturize(b *testing.B) {
 	}
 }
 
-// BenchmarkPIIExtract times the prefiltered extraction pass: clean
-// documents are rejected by the literal scan alone; the dense dox pays
-// for the regex families its gate literals admit.
+const benchDenseDox = "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+
+// BenchmarkPIIExtract times the one-pass engine extraction: clean
+// documents cost a single prefilter scan; the dense dox additionally
+// pays the lazy DFA and the exact backtracker for the families its
+// gate literals admit. The allocations measured here are the public
+// []PIIMatch result; BenchmarkPIISession times the zero-alloc path.
 func BenchmarkPIIExtract(b *testing.B) {
 	for _, c := range []struct{ name, text string }{
 		{"clean-short-chat", benchCleanChat},
 		{"clean-long-paste", benchLongPaste()},
-		{"dense-dox", "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"},
+		{"dense-dox", benchDenseDox},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
@@ -309,4 +314,39 @@ func BenchmarkPIIExtract(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPIISession times the pooled zero-allocation session API the
+// scoring workers use: spans alias the session arena, so steady state
+// performs no heap allocations even on a dense dox.
+func BenchmarkPIISession(b *testing.B) {
+	for _, c := range []struct{ name, text string }{
+		{"clean-short-chat", benchCleanChat},
+		{"clean-long-paste", benchLongPaste()},
+		{"dense-dox", benchDenseDox},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			s := pii.NewSession()
+			s.Extract(c.text) // warm arena, DFA cache, scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Extract(c.text)
+			}
+		})
+	}
+	// Parallel scaling: one session per goroutine; the engine's compiled
+	// state (Teddy tables, programs, byte classes) is shared immutably.
+	b.Run("dense-dox-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			s := pii.NewSession()
+			s.Extract(benchDenseDox)
+			for pb.Next() {
+				if len(s.Extract(benchDenseDox)) == 0 {
+					b.Fatal("dense dox produced no spans")
+				}
+			}
+		})
+	})
 }

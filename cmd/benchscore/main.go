@@ -5,8 +5,16 @@
 // are compared against.
 //
 // Run via scripts/bench.sh. The baseline figures were measured on this
-// machine at the pre-optimisation tree (commit 28507bb, the seed this
-// PR's speedup is claimed against) with the same workloads.
+// machine at the pre-optimisation tree (commit 28507bb, the seed the
+// speedup claims are made against) with the same workloads.
+//
+// Two flags support the CI gate in scripts/check.sh:
+//
+//	-pii-only   skip pipeline training and measure only the PII
+//	            entries (fast enough to run on every check)
+//	-gate-pii   exit non-zero if pii/dense-dox falls below 3x the
+//	            pre-engine figure (58581.56 ns/op, the regex-cascade
+//	            number the one-pass engine replaced)
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"harassrepro/internal/core"
 	"harassrepro/internal/features"
 	"harassrepro/internal/obs"
+	"harassrepro/internal/pii"
 	"harassrepro/internal/tokenize"
 )
 
@@ -29,6 +38,14 @@ const (
 	shortChat = "we need to mass-report his twitter and youtube, spread the word"
 	cleanChat = "anyone up for ranked tonight, patch notes are out, new map is wild"
 	denseDox  = "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+)
+
+// piiGateBaselineNs is the pii/dense-dox figure of the regex-cascade
+// path the one-pass engine replaced; -gate-pii fails the run if the
+// current measurement is less than piiGateMinSpeedup times faster.
+const (
+	piiGateBaselineNs = 58581.56
+	piiGateMinSpeedup = 3.0
 )
 
 // metrics is one measured workload.
@@ -43,11 +60,12 @@ type metrics struct {
 // entry pairs a workload's current measurement with its committed
 // pre-optimisation baseline (when one was measured).
 type entry struct {
-	Name      string   `json:"name"`
-	DocsPerOp int      `json:"docs_per_op"`
-	Baseline  *metrics `json:"baseline,omitempty"`
-	Current   metrics  `json:"current"`
-	Speedup   float64  `json:"speedup_vs_baseline,omitempty"`
+	Name       string   `json:"name"`
+	DocsPerOp  int      `json:"docs_per_op"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"` // only when it differs from the report's
+	Baseline   *metrics `json:"baseline,omitempty"`
+	Current    metrics  `json:"current"`
+	Speedup    float64  `json:"speedup_vs_baseline,omitempty"`
 }
 
 type report struct {
@@ -88,9 +106,101 @@ func measure(name string, docsPerOp int, baseline *metrics, fn func(b *testing.B
 	return e
 }
 
+// piiEntries measures the PII extraction workloads on the pooled
+// zero-allocation session path (the same API the scoring workers hit).
+// Baselines are the pre-prefilter regex cascade at 28507bb, measured
+// with identical inputs on this machine.
+func piiEntries() []entry {
+	session := pii.NewSession()
+	session.Extract(denseDox) // warm arena, DFA cache, scratch
+	entries := []entry{
+		// Baseline: unconditional 12-family regex cascade on a clean chat
+		// message at 28507bb (43510 ns/op; the cascade allocated nothing
+		// on documents with no matches).
+		measure("pii/clean-chat", 1, baselineMetrics(43510, 0, 0, 1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(session.Extract(cleanChat)) != 0 {
+					b.Fatal("clean chat produced spans")
+				}
+			}
+		}),
+		// Baseline: BenchmarkExtractPII at 28507bb (91274 ns/op, 40
+		// allocs/op) — the dense dox paid for every regex family.
+		measure("pii/dense-dox", 1, baselineMetrics(91274, 3112, 40, 1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(session.Extract(denseDox)) == 0 {
+					b.Fatal("dense dox produced no spans")
+				}
+			}
+		}),
+	}
+	// Parallel scaling: the same dense dox across 4 procs with one
+	// session per goroutine — the engine shares only immutable compiled
+	// state, so throughput should scale with procs.
+	prev := runtime.GOMAXPROCS(4)
+	par := measure("pii/dense-dox-p4", 1, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			s := pii.NewSession()
+			s.Extract(denseDox)
+			for pb.Next() {
+				if len(s.Extract(denseDox)) == 0 {
+					b.Fatal("dense dox produced no spans")
+				}
+			}
+		})
+	})
+	runtime.GOMAXPROCS(prev)
+	par.GOMAXPROCS = 4
+	entries = append(entries, par)
+	return entries
+}
+
+// gatePII enforces the dense-dox floor: the one-pass engine must stay
+// at least piiGateMinSpeedup faster than the regex cascade it replaced.
+func gatePII(entries []entry) error {
+	for _, e := range entries {
+		if e.Name != "pii/dense-dox" {
+			continue
+		}
+		limit := piiGateBaselineNs / piiGateMinSpeedup
+		if e.Current.NsPerOp > limit {
+			return fmt.Errorf("pii/dense-dox = %.0f ns/op, gate requires <= %.0f ns/op (%.1fx vs %.0f ns/op pre-engine)",
+				e.Current.NsPerOp, limit, piiGateMinSpeedup, piiGateBaselineNs)
+		}
+		if e.Current.AllocsPerOp != 0 {
+			return fmt.Errorf("pii/dense-dox = %d allocs/op, gate requires 0", e.Current.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "benchscore: pii gate ok: %.0f ns/op (%.1fx vs pre-engine), %d allocs/op\n",
+			e.Current.NsPerOp, piiGateBaselineNs/e.Current.NsPerOp, e.Current.AllocsPerOp)
+		return nil
+	}
+	return fmt.Errorf("pii gate: no pii/dense-dox entry measured")
+}
+
 func main() {
-	out := flag.String("out", "BENCH_scoring.json", "output file")
+	out := flag.String("out", "BENCH_scoring.json", "output file (empty: don't write)")
+	piiOnly := flag.Bool("pii-only", false, "measure only the PII entries (no pipeline training)")
+	gate := flag.Bool("gate-pii", false, "fail if pii/dense-dox regresses below the committed floor")
 	flag.Parse()
+
+	// Serial entries are comparable across runs only at a fixed proc
+	// count; the parallel entry overrides its own.
+	runtime.GOMAXPROCS(1)
+
+	if *piiOnly {
+		entries := piiEntries()
+		printEntries(entries)
+		if *gate {
+			if err := gatePII(entries); err != nil {
+				fmt.Fprintln(os.Stderr, "benchscore:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	fmt.Fprintln(os.Stderr, "benchscore: training quick-scale pipeline (one-time setup)...")
 	study, err := harassrepro.Run(harassrepro.QuickConfig(1))
@@ -128,12 +238,13 @@ func main() {
 	toks := append([]string(nil), tokenize.BasicTokenize(shortChat)...)
 
 	rep := report{
-		Description:    "Scoring hot-path benchmarks: steady-state tokenize/featurize/pii plus the end-to-end streaming ScoreStream workload (256 mixed documents), with and without obs metrics attached. Baselines were measured at the pre-optimisation tree with identical workloads on this machine; -1 marks baseline fields that were not recorded. The score-stream-metrics entry's baseline is the uninstrumented score-stream run from the same invocation, so its speedup_vs_baseline is the direct instrumentation-overhead ratio (>= 0.98 means <= 2% overhead).",
+		Description:    "Scoring hot-path benchmarks: steady-state tokenize/featurize/pii plus the end-to-end streaming ScoreStream workload (256 mixed documents), with and without obs metrics attached. PII entries run on the pooled zero-allocation session API of the one-pass engine (Teddy prefilter + lazy DFA + exact backtracker), the same path the scoring workers use; pii/dense-dox-p4 is the identical workload across GOMAXPROCS=4 with one session per goroutine. Baselines were measured at the pre-optimisation tree with identical workloads on this machine; -1 marks baseline fields that were not recorded. The score-stream-metrics entry's baseline is the uninstrumented score-stream run from the same invocation, so its speedup_vs_baseline is the direct instrumentation-overhead ratio (>= 0.98 means <= 2% overhead).",
 		BaselineCommit: "28507bb",
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Entries: []entry{
-			measure("tokenize/short-chat", 1, nil, func(b *testing.B) {
+			// Baseline: per-call tokenizer at 28507bb (split/alloc per doc).
+			measure("tokenize/short-chat", 1, baselineMetrics(1517, 608, 19, 1), func(b *testing.B) {
 				var bt tokenize.BasicTokenizer
 				bt.Tokenize(shortChat)
 				b.ReportAllocs()
@@ -142,7 +253,8 @@ func main() {
 					bt.Tokenize(shortChat)
 				}
 			}),
-			measure("featurize/short-chat", 1, nil, func(b *testing.B) {
+			// Baseline: map-building vectorizer at 28507bb.
+			measure("featurize/short-chat", 1, baselineMetrics(4643, 1328, 9, 1), func(b *testing.B) {
 				f := hasher.NewFeaturizer()
 				f.Vectorize(toks)
 				b.ReportAllocs()
@@ -151,34 +263,22 @@ func main() {
 					f.Vectorize(toks)
 				}
 			}),
-			measure("pii/clean-chat", 1, nil, func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					harassrepro.ExtractPII(cleanChat)
-				}
-			}),
-			// Baseline: BenchmarkExtractPII at 28507bb (91274 ns/op, 40
-			// allocs/op) — the dense dox pays for the regex families its
-			// gate admits either way.
-			measure("pii/dense-dox", 1, baselineMetrics(91274, 3112, 40, 1), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					harassrepro.ExtractPII(denseDox)
-				}
-			}),
-			// Baseline: BenchmarkScoreStreamSequential at 28507bb (only
-			// ns/op was recorded; -1 marks fields not measured then).
-			measure("score-sequential/256-docs", 256, baselineMetrics(12669616, -1, -1, 256), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					for _, d := range docs {
-						_ = det.ScoreCTH(d.Text)
-						_ = det.ScoreDox(d.Text)
-					}
-				}
-			}),
 		},
 	}
+	rep.Entries = append(rep.Entries, piiEntries()...)
+	rep.Entries = append(rep.Entries,
+		// Baseline: BenchmarkScoreStreamSequential at 28507bb (only
+		// ns/op was recorded; -1 marks fields not measured then).
+		measure("score-sequential/256-docs", 256, baselineMetrics(12669616, -1, -1, 256), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range docs {
+					_ = det.ScoreCTH(d.Text)
+					_ = det.ScoreDox(d.Text)
+				}
+			}
+		}),
+	)
 
 	// Baseline: BenchmarkScoreStream at 28507bb — the headline
 	// end-to-end number the earlier optimisation PR's >=3x claim is
@@ -216,17 +316,32 @@ func main() {
 		}
 	}))
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchscore:", err)
-		os.Exit(1)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchscore:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchscore:", err)
+			os.Exit(1)
+		}
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchscore:", err)
-		os.Exit(1)
+	printEntries(rep.Entries)
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchscore: wrote %s\n", *out)
 	}
-	for _, e := range rep.Entries {
+	if *gate {
+		if err := gatePII(rep.Entries); err != nil {
+			fmt.Fprintln(os.Stderr, "benchscore:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printEntries(entries []entry) {
+	for _, e := range entries {
 		line := fmt.Sprintf("%-28s %12.0f ns/op %8d B/op %6d allocs/op %14.0f docs/sec",
 			e.Name, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp, e.Current.DocsPerSec)
 		if e.Speedup > 0 {
@@ -234,7 +349,6 @@ func main() {
 		}
 		fmt.Println(line)
 	}
-	fmt.Fprintf(os.Stderr, "benchscore: wrote %s\n", *out)
 }
 
 func streamDocs(n int) []harassrepro.StreamDocument {

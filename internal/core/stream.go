@@ -133,8 +133,12 @@ func (d *Detector) streamStages(opts StreamOptions) []resilience.Stage[StreamDoc
 				Transient:  true,
 				Degradable: true,
 				Fn: func(_ context.Context, _ int, sd *StreamDoc) error {
+					// At most one entry per PII type: the scratch array keeps
+					// the engine call allocation-free; only documents that
+					// actually contain PII pay for the []string.
+					var scratch [9]pii.Type
 					var types []string
-					for _, t := range ext.Types(sd.Text) {
+					for _, t := range ext.AppendTypes(scratch[:0], sd.Text) {
 						types = append(types, string(t))
 					}
 					sd.PII = types

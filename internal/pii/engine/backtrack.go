@@ -1,0 +1,174 @@
+package engine
+
+// A small backtracking VM executing compiled Programs with Go-regexp
+// leftmost-first preference. Patterns here are tiny (tens of
+// instructions, bounded repetition), inputs are candidate windows a
+// few dozen bytes long, and catastrophic blowup is impossible for the
+// pattern shapes the pii package compiles (no nested unbounded
+// repetition of overlapping classes with shared suffixes reachable on
+// the hot path; a step budget guards the rest), so a backtracker is
+// both exact and fast. The Machine is reusable and allocation-free
+// after warm-up.
+
+// frame is one backtracking choice point: resume at pc with position
+// pos, restoring capture state.
+type frame struct {
+	pc         int32
+	pos        int32
+	capS, capE int32
+}
+
+// Machine executes Programs over a string. The zero value is ready;
+// all scratch is reused across runs.
+type Machine struct {
+	stack []frame
+	steps int
+	// Visited-split memo, engaged only past memoThreshold steps:
+	// revisiting a split at the same position always re-derives the
+	// same failure (captures never steer control flow and the first
+	// success returns immediately), so pruning revisits makes the
+	// search linear in pattern-size x text-size, like Go's regexp,
+	// while costing the hot path nothing.
+	memo      map[uint64]uint64
+	memoEpoch uint64
+	memoOn    bool
+}
+
+// memoThreshold is the step count past which the visited memo turns
+// on. Real candidate attempts finish in tens of steps; only
+// pathological ambiguity (adjacent unbounded repetitions over long
+// homogeneous runs) crosses it.
+const memoThreshold = 1 << 13
+
+// maxSteps bounds a single run. With the memo engaged, work is
+// bounded by (split instructions x text length) and stays far below
+// this; the cap is a safety net, never a correctness mechanism
+// (differential fuzz would catch it firing).
+const maxSteps = 1 << 28
+
+// engageMemo turns the visited memo on for the rest of this run.
+// Entries from earlier epochs stay in the map harmlessly (epoch
+// mismatch); the map is dropped if it ever grows very large.
+func (m *Machine) engageMemo() {
+	if m.memo == nil || len(m.memo) > 1<<21 {
+		m.memo = make(map[uint64]uint64)
+	}
+	m.memoEpoch++
+	m.memoOn = true
+}
+
+// isWordByte reports ASCII wordness for \b. Bytes >= 0x80 are
+// non-word, matching regexp's ASCII-only \b semantics.
+func isWordByte(b byte) bool {
+	return b == '_' ||
+		('0' <= b && b <= '9') ||
+		('A' <= b && b <= 'Z') ||
+		('a' <= b && b <= 'z')
+}
+
+// atBoundary reports whether a \b assertion holds between text[pos-1]
+// and text[pos].
+func atBoundary(text string, pos int32) bool {
+	var before, after bool
+	if pos > 0 {
+		before = isWordByte(text[pos-1])
+	}
+	if int(pos) < len(text) {
+		after = isWordByte(text[pos])
+	}
+	return before != after
+}
+
+// stepClass attempts to consume one character of text at pos against
+// cls, returning the new position and whether it matched. One
+// "character" is one ASCII byte, or one of the two multi-byte fold
+// runes when the class carries the corresponding flag.
+func stepClass(cls *class, text string, pos int32) (int32, bool) {
+	if int(pos) >= len(text) {
+		return pos, false
+	}
+	b := text[pos]
+	if b < 0x80 {
+		if cls.has(b) {
+			return pos + 1, true
+		}
+		return pos, false
+	}
+	if cls.foldS && b == 0xC5 && int(pos)+1 < len(text) && text[pos+1] == 0xBF {
+		return pos + 2, true // U+017F folds to 's'
+	}
+	if cls.foldK && b == 0xE2 && int(pos)+2 < len(text) &&
+		text[pos+1] == 0x84 && text[pos+2] == 0xAA {
+		return pos + 3, true // U+212A folds to 'k'
+	}
+	return pos, false
+}
+
+// Run attempts an anchored match of p at start. It returns the match
+// end, the capture-group extent (capS/capE, -1 if the group did not
+// participate), and whether a match was found. Leftmost-first: the
+// first accepting path in preference order wins, exactly like
+// regexp's FindString extent at a fixed start.
+func (m *Machine) Run(p *Program, text string, start int32) (end, capS, capE int32, ok bool) {
+	m.stack = m.stack[:0]
+	m.steps = 0
+	m.memoOn = false
+	pc, pos := int32(0), start
+	cs, ce := int32(-1), int32(-1)
+	insts := p.insts
+	for {
+		m.steps++
+		if m.steps > maxSteps {
+			return 0, 0, 0, false
+		}
+		if m.steps == memoThreshold {
+			m.engageMemo()
+		}
+		in := &insts[pc]
+		switch in.op {
+		case opClass:
+			if np, hit := stepClass(&in.cls, text, pos); hit {
+				pos = np
+				pc++
+				continue
+			}
+		case opSplit:
+			if m.memoOn {
+				key := uint64(pc)<<32 | uint64(uint32(pos))
+				if m.memo[key] == m.memoEpoch {
+					break // already explored from here: it failed
+				}
+				m.memo[key] = m.memoEpoch
+			}
+			m.stack = append(m.stack, frame{pc: in.y, pos: pos, capS: cs, capE: ce})
+			pc = in.x
+			continue
+		case opJmp:
+			pc = in.x
+			continue
+		case opBound:
+			if atBoundary(text, pos) {
+				pc++
+				continue
+			}
+		case opSaveS:
+			cs = pos
+			pc++
+			continue
+		case opSaveE:
+			ce = pos
+			pc++
+			continue
+		case opMatch:
+			return pos, cs, ce, true
+		}
+		// failed: backtrack
+		n := len(m.stack)
+		if n == 0 {
+			return 0, 0, 0, false
+		}
+		f := m.stack[n-1]
+		m.stack = m.stack[:n-1]
+		pc, pos, cs, ce = f.pc, f.pos, f.capS, f.capE
+	}
+}

@@ -1,0 +1,212 @@
+package engine
+
+// The compiler lowers a pattern AST into a flat instruction program
+// for the backtracking VM in backtrack.go and the NFA simulation the
+// lazy DFA (dfa.go) determinises on demand. The instruction set and
+// split ordering mirror Go's regexp bytecode closely enough that the
+// VM's leftmost-first search reproduces regexp match extents exactly.
+
+type opcode uint8
+
+const (
+	opClass opcode = iota // consume one char matching inst.cls
+	opSplit               // try x first, then y (preference order)
+	opJmp                 // jump to x
+	opBound               // assert ASCII word boundary (zero-width)
+	opSaveS               // record capture-group start = current pos
+	opSaveE               // record capture-group end = current pos
+	opMatch               // accept
+)
+
+type inst struct {
+	op   opcode
+	cls  class
+	x, y int32 // split targets / jump target
+}
+
+// Program is a compiled pattern.
+type Program struct {
+	insts []inst
+	// first is the set of bytes (plus fold flags) that can begin a
+	// match: the union of classes reachable from instruction 0 through
+	// zero-width instructions.
+	first class
+	// minLen is a lower bound on matched bytes (ASCII view).
+	minLen int
+}
+
+type compiler struct {
+	insts []inst
+}
+
+func (c *compiler) emit(i inst) int32 {
+	c.insts = append(c.insts, i)
+	return int32(len(c.insts) - 1)
+}
+
+// compile emits code for n; on return, all emitted code falls through
+// to the next instruction to be emitted.
+func (c *compiler) compile(n *Node) {
+	switch n.kind {
+	case nkClass:
+		c.emit(inst{op: opClass, cls: n.cls})
+	case nkSeq:
+		for _, s := range n.subs {
+			c.compile(s)
+		}
+	case nkAlt:
+		// branch[i]: split -> (body_i, next alternative); last body
+		// falls through, earlier bodies jump to the common end.
+		var jumps []int32
+		for i, s := range n.subs {
+			if i == len(n.subs)-1 {
+				c.compile(s)
+				break
+			}
+			sp := c.emit(inst{op: opSplit})
+			c.insts[sp].x = int32(len(c.insts))
+			c.compile(s)
+			jumps = append(jumps, c.emit(inst{op: opJmp}))
+			c.insts[sp].y = int32(len(c.insts))
+		}
+		for _, j := range jumps {
+			c.insts[j].x = int32(len(c.insts))
+		}
+	case nkRep:
+		c.compileRep(n)
+	case nkBound:
+		c.emit(inst{op: opBound})
+	case nkCap:
+		c.emit(inst{op: opSaveS})
+		c.compile(n.sub)
+		c.emit(inst{op: opSaveE})
+	}
+}
+
+// compileRep expands X{min,max} into min copies of X followed by
+// either optional copies (bounded) or a star loop (unbounded). Greedy
+// preference puts the body on the split's x branch; lazy reverses it.
+func (c *compiler) compileRep(n *Node) {
+	for i := 0; i < n.min; i++ {
+		c.compile(n.sub)
+	}
+	extra := -1
+	if n.max >= 0 {
+		extra = n.max - n.min
+		if extra == 0 {
+			return
+		}
+	}
+	if extra < 0 {
+		// star loop: L: split (body, out); body; jmp L
+		l := int32(len(c.insts))
+		sp := c.emit(inst{op: opSplit})
+		body := int32(len(c.insts))
+		c.compile(n.sub)
+		c.emit(inst{op: opJmp, x: l})
+		out := int32(len(c.insts))
+		if n.lazy {
+			c.insts[sp].x, c.insts[sp].y = out, body
+		} else {
+			c.insts[sp].x, c.insts[sp].y = body, out
+		}
+		return
+	}
+	// bounded: nested optionals — (X(X(...)?)?)? — so each extra copy
+	// is individually optional and preference order is preserved.
+	var splits []int32
+	for i := 0; i < extra; i++ {
+		sp := c.emit(inst{op: opSplit})
+		body := int32(len(c.insts))
+		if n.lazy {
+			c.insts[sp].y = body
+		} else {
+			c.insts[sp].x = body
+		}
+		splits = append(splits, sp)
+		c.compile(n.sub)
+	}
+	out := int32(len(c.insts))
+	for _, sp := range splits {
+		if n.lazy {
+			c.insts[sp].x = out
+		} else {
+			c.insts[sp].y = out
+		}
+	}
+}
+
+// Compile lowers an AST into an executable Program.
+func Compile(n *Node) *Program {
+	c := &compiler{}
+	c.compile(n)
+	c.emit(inst{op: opMatch})
+	p := &Program{insts: c.insts}
+	p.first = firstSet(c.insts)
+	p.minLen = minLen(n)
+	return p
+}
+
+// firstSet unions every class reachable from pc 0 through zero-width
+// instructions: the bytes a match can start with.
+func firstSet(insts []inst) class {
+	var f class
+	seen := make([]bool, len(insts))
+	var walk func(pc int32)
+	walk = func(pc int32) {
+		for {
+			if seen[pc] {
+				return
+			}
+			seen[pc] = true
+			in := &insts[pc]
+			switch in.op {
+			case opClass:
+				f.bits[0] |= in.cls.bits[0]
+				f.bits[1] |= in.cls.bits[1]
+				f.foldS = f.foldS || in.cls.foldS
+				f.foldK = f.foldK || in.cls.foldK
+				return
+			case opSplit:
+				walk(in.x)
+				pc = in.y
+			case opJmp:
+				pc = in.x
+			case opBound, opSaveS, opSaveE:
+				pc++
+			case opMatch:
+				return
+			}
+		}
+	}
+	walk(0)
+	return f
+}
+
+// minLen computes a lower bound on the number of characters (ASCII
+// view) a match must consume.
+func minLen(n *Node) int {
+	switch n.kind {
+	case nkClass:
+		return 1
+	case nkSeq:
+		t := 0
+		for _, s := range n.subs {
+			t += minLen(s)
+		}
+		return t
+	case nkAlt:
+		m := minLen(n.subs[0])
+		for _, s := range n.subs[1:] {
+			if l := minLen(s); l < m {
+				m = l
+			}
+		}
+		return m
+	case nkRep:
+		return n.min * minLen(n.sub)
+	case nkCap:
+		return minLen(n.sub)
+	}
+	return 0
+}

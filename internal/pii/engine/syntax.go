@@ -1,0 +1,179 @@
+// Package engine implements a one-pass multi-pattern scanner for the
+// PII extractors: a Teddy-style bit-parallel multi-literal prefilter
+// (bucketed fingerprint lanes over the gate-literal set) feeding a
+// lazy-DFA multi-pattern automaton plus exact anchored matchers, so a
+// document is classified and its PII spans extracted in a single
+// streaming scan instead of twelve independent regex passes.
+//
+// The package is generic: the pii package supplies a Spec describing
+// the pattern set (as ASTs built with the combinators in this file),
+// the literal gates, the per-family candidate strategy and the
+// verify/normalise hooks. Matching semantics are exactly Go's
+// regexp semantics — leftmost-first preference, ASCII word
+// boundaries, simple case folding under (?i) including the two
+// non-ASCII runes (U+017F LATIN SMALL LETTER LONG S and U+212A KELVIN
+// SIGN) whose fold orbits reach ASCII letters — which is what lets
+// the differential fuzz targets hold this engine byte-identical to
+// the legacy regexp cascade.
+package engine
+
+// class is an ASCII character class plus acceptance flags for the two
+// non-ASCII runes Go's simple case folding maps onto ASCII letters.
+type class struct {
+	bits  [2]uint64
+	foldS bool // also accepts U+017F (folds with 's')
+	foldK bool // also accepts U+212A (folds with 'k')
+}
+
+func (c *class) add(b byte) { c.bits[b>>6] |= 1 << (b & 63) }
+
+func (c *class) has(b byte) bool {
+	return b < 128 && c.bits[b>>6]&(1<<(b&63)) != 0
+}
+
+// nodeKind discriminates AST nodes.
+type nodeKind uint8
+
+const (
+	nkClass nodeKind = iota
+	nkSeq
+	nkAlt
+	nkRep
+	nkBound
+	nkCap
+)
+
+// Node is one AST node of a pattern. Build trees with the combinators
+// below; Compile turns a tree into an executable Program.
+type Node struct {
+	kind     nodeKind
+	cls      class
+	subs     []*Node
+	sub      *Node
+	min, max int // rep bounds; max < 0 means unbounded
+	lazy     bool
+}
+
+// parseClassSpec parses a compact class spec like "A-Za-z0-9.'-" into
+// an ASCII bitset. A '-' is a range only when sandwiched between two
+// chars with at least one char following the range; otherwise it is a
+// literal. Specs are ASCII-only.
+func parseClassSpec(spec string) class {
+	var c class
+	for i := 0; i < len(spec); {
+		if spec[i] >= 0x80 {
+			panic("engine: non-ASCII class spec " + spec)
+		}
+		if i+2 < len(spec) && spec[i+1] == '-' {
+			lo, hi := spec[i], spec[i+2]
+			if lo > hi {
+				panic("engine: inverted range in class spec " + spec)
+			}
+			for b := lo; ; b++ {
+				c.add(b)
+				if b == hi {
+					break
+				}
+			}
+			i += 3
+			continue
+		}
+		c.add(spec[i])
+		i++
+	}
+	return c
+}
+
+// foldClass closes a class under ASCII simple case folding and sets
+// the non-ASCII fold flags. This is what (?i) does to a class: any
+// character whose fold orbit intersects the class matches.
+func foldClass(c class) class {
+	for b := byte('a'); b <= 'z'; b++ {
+		up := b - 'a' + 'A'
+		if c.has(b) || c.has(up) {
+			c.add(b)
+			c.add(up)
+		}
+	}
+	c.foldS = c.has('s')
+	c.foldK = c.has('k')
+	return c
+}
+
+// Cls returns a case-sensitive character class node from a spec like
+// "A-Za-z0-9._%+-".
+func Cls(spec string) *Node {
+	return &Node{kind: nkClass, cls: parseClassSpec(spec)}
+}
+
+// ClsFold returns a class node closed under (?i) simple case folding.
+func ClsFold(spec string) *Node {
+	return &Node{kind: nkClass, cls: foldClass(parseClassSpec(spec))}
+}
+
+// Lit returns a case-sensitive literal node.
+func Lit(s string) *Node {
+	subs := make([]*Node, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		var c class
+		c.add(s[i])
+		subs = append(subs, &Node{kind: nkClass, cls: c})
+	}
+	return seqOf(subs)
+}
+
+// LitFold returns a literal node matched case-insensitively
+// (per-character fold closure, as (?i) compiles literals).
+func LitFold(s string) *Node {
+	subs := make([]*Node, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		var c class
+		c.add(s[i])
+		subs = append(subs, &Node{kind: nkClass, cls: foldClass(c)})
+	}
+	return seqOf(subs)
+}
+
+func seqOf(subs []*Node) *Node {
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Node{kind: nkSeq, subs: subs}
+}
+
+// Seq concatenates nodes.
+func Seq(ns ...*Node) *Node { return seqOf(ns) }
+
+// Alt is ordered alternation: earlier branches are preferred, exactly
+// like regexp alternation.
+func Alt(ns ...*Node) *Node {
+	if len(ns) == 1 {
+		return ns[0]
+	}
+	return &Node{kind: nkAlt, subs: ns}
+}
+
+// Opt is greedy X? — prefers matching X.
+func Opt(n *Node) *Node { return &Node{kind: nkRep, sub: n, min: 0, max: 1} }
+
+// Star is greedy X* and Plus greedy X+.
+func Star(n *Node) *Node { return &Node{kind: nkRep, sub: n, min: 0, max: -1} }
+
+// Plus is greedy X+.
+func Plus(n *Node) *Node { return &Node{kind: nkRep, sub: n, min: 1, max: -1} }
+
+// Rep is greedy X{min,max}; max < 0 means no upper bound.
+func Rep(n *Node, min, max int) *Node {
+	return &Node{kind: nkRep, sub: n, min: min, max: max}
+}
+
+// RepLazy is lazy X{min,max}? — prefers the fewest repetitions.
+func RepLazy(n *Node, min, max int) *Node {
+	return &Node{kind: nkRep, sub: n, min: min, max: max, lazy: true}
+}
+
+// Bnd is \b: an ASCII word boundary (zero-width).
+func Bnd() *Node { return &Node{kind: nkBound} }
+
+// Cap marks the pattern's single capturing group (group 1).
+func Cap(n *Node) *Node { return &Node{kind: nkCap, sub: n} }

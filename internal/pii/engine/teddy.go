@@ -1,0 +1,213 @@
+package engine
+
+// A Teddy-style multi-literal prefilter: all gate literals are packed
+// into four 64-bit "lanes" and matched simultaneously with a
+// bit-parallel Shift-And automaton (the SWAR formulation of Teddy's
+// bucketed fingerprint idea — each lane is a bucket whose per-byte
+// masks overlay its members' fingerprints; the lanes here are wide
+// enough that matches are exact, not candidates needing verification;
+// the one-bit carry that can leak from a literal into its lane
+// neighbour is absorbed by the init mask, which sets that first-char
+// bit whenever the byte matches anyway). One pass over the document
+// computes, simultaneously:
+//
+//   - which gate literals occur (LitMask over the registered set),
+//   - the ASCII digit count and every maximal digit run,
+//   - the end offsets of every occurrence of "tracked" literals
+//     ('@' for email, the host/mention site names for handles),
+//   - whether either non-ASCII fold rune (U+017F, U+212A) occurred.
+//
+// The scan is over the case-folded view: A-Z fold to a-z, U+017F
+// folds to 's', U+212A folds to 'k', all other non-ASCII bytes reset
+// the automaton (no literal contains them). The hot loop keeps all
+// four lanes in registers; per byte it is one 32-byte table load,
+// four shift/or/and triples, and one accept test.
+
+import "math/bits"
+
+// laneWords is the number of 64-bit lanes literals are packed into:
+// 256 characters of total literal text.
+const laneWords = 4
+
+type laneVec [laneWords]uint64
+
+// LitEvent records one occurrence of a tracked literal: End is the
+// byte offset just past the occurrence in the original text.
+type LitEvent struct {
+	ID  int // tracked-literal ID (registration order)
+	End int32
+}
+
+// Run is one maximal ASCII digit run [Start, End).
+type Run struct {
+	Start, End int32
+}
+
+// Facts is everything one scan establishes about a document.
+type Facts struct {
+	LitMask uint64 // which gate literals occur (bit = registration order)
+	Digits  int    // total ASCII digit count
+	HasFold bool   // a non-ASCII fold rune occurred
+	Events  []LitEvent
+	Runs    []Run
+}
+
+// Reset clears f for reuse without freeing its slices.
+func (f *Facts) Reset() {
+	f.LitMask = 0
+	f.Digits = 0
+	f.HasFold = false
+	f.Events = f.Events[:0]
+	f.Runs = f.Runs[:0]
+}
+
+// teddyLit is one packed literal.
+type teddyLit struct {
+	text    string
+	gateBit int // bit in LitMask, -1 if not a gate literal
+	trackID int // tracked-literal ID, -1 if not tracked
+}
+
+// TeddyLiteral registers one literal for compilation. Gate literals
+// contribute a bit to Facts.LitMask; tracked literals additionally
+// emit LitEvents with their end offsets.
+type TeddyLiteral struct {
+	Text    string
+	GateBit int // -1: not a gate
+	TrackID int // -1: not tracked
+}
+
+// Teddy is the compiled prefilter.
+type Teddy struct {
+	lits []teddyLit
+	// tab[c] has, for each lane, a 1 bit at position i iff some packed
+	// literal has byte c at (lane-relative) position i.
+	tab [128]laneVec
+	// initMask has a 1 at every literal's first-char position: the
+	// Shift-And "new match may start here" injection.
+	initMask laneVec
+	// fin has a 1 at every literal's last-char position.
+	fin laneVec
+	// litAt maps (lane, end bit) -> literal index for accept dispatch.
+	litAt [laneWords][64]int16
+}
+
+// NewTeddy compiles the literal set. Literals must be non-empty
+// lowercase ASCII (the scan folds input to lowercase first).
+func NewTeddy(literals []TeddyLiteral) *Teddy {
+	t := &Teddy{}
+	for w := 0; w < laneWords; w++ {
+		for b := 0; b < 64; b++ {
+			t.litAt[w][b] = -1
+		}
+	}
+	// First-fit pack each literal into a lane with enough free bits.
+	used := [laneWords]uint{}
+	for _, l := range literals {
+		if l.Text == "" {
+			panic("engine: empty teddy literal")
+		}
+		n := uint(len(l.Text))
+		lane := -1
+		for w := 0; w < laneWords; w++ {
+			if used[w]+n <= 64 {
+				lane = w
+				break
+			}
+		}
+		if lane < 0 {
+			panic("engine: teddy literal set exceeds lane capacity")
+		}
+		base := used[lane]
+		used[lane] += n
+		for i := uint(0); i < n; i++ {
+			c := l.Text[i]
+			if c >= 0x80 || ('A' <= c && c <= 'Z') {
+				panic("engine: teddy literal must be lowercase ASCII: " + l.Text)
+			}
+			t.tab[c][lane] |= 1 << (base + i)
+		}
+		t.initMask[lane] |= 1 << base
+		endBit := base + n - 1
+		t.fin[lane] |= 1 << endBit
+		t.litAt[lane][endBit] = int16(len(t.lits))
+		t.lits = append(t.lits, teddyLit{text: l.Text, gateBit: l.GateBit, trackID: l.TrackID})
+	}
+	return t
+}
+
+// Scan runs the prefilter over text, filling facts (which is Reset
+// first). Allocation-free once facts' slices have grown.
+func (t *Teddy) Scan(text string, facts *Facts) {
+	facts.Reset()
+	var d0, d1, d2, d3 uint64
+	i0, i1, i2, i3 := t.initMask[0], t.initMask[1], t.initMask[2], t.initMask[3]
+	f0, f1, f2, f3 := t.fin[0], t.fin[1], t.fin[2], t.fin[3]
+	digits := 0
+	runStart := int32(-1)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		end := int32(i + 1)
+		if c >= 0x80 {
+			if c == 0xC5 && i+1 < len(text) && text[i+1] == 0xBF {
+				c, i = 's', i+1 // U+017F -> 's'
+				end = int32(i + 1)
+				facts.HasFold = true
+			} else if c == 0xE2 && i+2 < len(text) && text[i+1] == 0x84 && text[i+2] == 0xAA {
+				c, i = 'k', i+2 // U+212A -> 'k'
+				end = int32(i + 1)
+				facts.HasFold = true
+			} else {
+				// Non-ASCII: no literal continues, no digit run continues.
+				if runStart >= 0 {
+					facts.Runs = append(facts.Runs, Run{Start: runStart, End: int32(i)})
+					runStart = -1
+				}
+				d0, d1, d2, d3 = 0, 0, 0, 0
+				continue
+			}
+		} else if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if '0' <= c && c <= '9' {
+			digits++
+			if runStart < 0 {
+				runStart = end - 1
+			}
+		} else if runStart >= 0 {
+			facts.Runs = append(facts.Runs, Run{Start: runStart, End: end - 1})
+			runStart = -1
+		}
+		// Shift-And step across all lanes.
+		tc := &t.tab[c]
+		d0 = ((d0 << 1) | i0) & tc[0]
+		d1 = ((d1 << 1) | i1) & tc[1]
+		d2 = ((d2 << 1) | i2) & tc[2]
+		d3 = ((d3 << 1) | i3) & tc[3]
+		if d0&f0|d1&f1|d2&f2|d3&f3 != 0 {
+			t.accept(&laneVec{d0 & f0, d1 & f1, d2 & f2, d3 & f3}, end, facts)
+		}
+	}
+	if runStart >= 0 {
+		facts.Runs = append(facts.Runs, Run{Start: runStart, End: int32(len(text))})
+	}
+	facts.Digits = digits
+}
+
+// accept dispatches every literal whose end bit is set.
+func (t *Teddy) accept(hits *laneVec, end int32, facts *Facts) {
+	for w := 0; w < laneWords; w++ {
+		h := hits[w]
+		for h != 0 {
+			bit := uint(bits.TrailingZeros64(h))
+			h &= h - 1
+			l := &t.lits[t.litAt[w][bit]]
+			if l.gateBit >= 0 {
+				facts.LitMask |= 1 << uint(l.gateBit)
+			}
+			if l.trackID >= 0 {
+				facts.Events = append(facts.Events, LitEvent{ID: l.trackID, End: end})
+			}
+		}
+	}
+}

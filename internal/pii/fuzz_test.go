@@ -100,10 +100,35 @@ func FuzzExtractPrefilterEquivalence(f *testing.F) {
 		"facebooK.com/kelvin 12 oak ſtreet",
 		"twtr: a yt: abc twitter.com/someuser",
 		"\xff\xfe\xc5\xbf\xe2\x84\xaa 123-45-6789",
+		// Dense multi-family dox: every digit family plus handles in one
+		// document, so the engine's per-region DFA admits several
+		// patterns over shared digit runs.
+		"DOX 123 Maple Street, Fairview, OH, 44120 (212) 555-0142 219-09-9999 " +
+			"4111111111111111 5500 0000 0000 0004 j@example.org fb: j.doe.99 " +
+			"instagram.com/j_doe twtr: jdoe youtube.com/c/jdoe",
+		// Overlapping digit runs: a 16-digit card whose interior also
+		// shapes like phone and SSN — non-overlap resume positions must
+		// agree with the per-pattern FindAll semantics.
+		"4111 1111 1111 1111 111-11-1111 1234567890 212-555-0142-19",
+		"30569309025904 3782 822463 10005 6011111111111117",
+		// URLs split across mention prefixes: the site literal appears
+		// both as a host and as a bare mention name in close quarters.
+		"twitter: twitter.com/realuser yt: youtube.com/@clip fb:facebook.com/p.q.r.s.t",
+		"https://www.instagram.com/insta: ig:instagram.com/x._.y",
+		// Digit walls: long runs where no pattern can match but the DFA
+		// and run enumeration must stay linear.
+		strings.Repeat("1234567890", 64),
+		strings.Repeat("9", 512) + " 219-09-9999 " + strings.Repeat("0", 512),
 	} {
 		f.Add(s)
 	}
+	// A 64KB digit wall with embedded needles: too big to minimise well
+	// as a seed literal, so build it here and fuzz it once directly.
+	wall := strings.Repeat("5", 16*1024) + " (415) 555-2671 " +
+		strings.Repeat("1 ", 16*1024) + "ssn 219-09-9999 " + strings.Repeat("42", 8*1024)
+	f.Add(wall)
 	e := NewExtractor()
+	s2 := NewSession()
 	f.Fuzz(func(t *testing.T, s string) {
 		got := e.Extract(s)
 		want := extractDirect(s)
@@ -115,7 +140,50 @@ func FuzzExtractPrefilterEquivalence(f *testing.F) {
 				t.Fatalf("prefiltered Extract(%q) = %v, direct = %v", s, got, want)
 			}
 		}
+		// The zero-alloc span API must agree with the allocating one:
+		// same (type, value) sequence, spans inside the document.
+		spans := s2.Extract(s)
+		if len(spans) != len(want) {
+			t.Fatalf("Session.Extract(%q) = %d spans, direct = %d matches", s, len(spans), len(want))
+		}
+		for i := range spans {
+			if spans[i].Type != want[i].Type || string(spans[i].Value) != want[i].Value {
+				t.Fatalf("Session.Extract(%q)[%d] = (%s,%q), direct = (%s,%q)",
+					s, i, spans[i].Type, spans[i].Value, want[i].Type, want[i].Value)
+			}
+			if spans[i].Start < 0 || spans[i].End > len(s) || spans[i].Start >= spans[i].End {
+				t.Fatalf("Session.Extract(%q)[%d] span [%d,%d) out of bounds", s, i, spans[i].Start, spans[i].End)
+			}
+		}
 	})
+}
+
+// TestSessionExtractZeroAllocsDenseDox is the allocation gate for the
+// one-pass engine on the dense-dox workload: after warmup, the pooled
+// session path (the scorer hot path) must not allocate even when every
+// family matches. The clean-path gate is TestExtractCleanPathZeroAllocs.
+func TestSessionExtractZeroAllocsDenseDox(t *testing.T) {
+	const dense = "John lives at 123 Maple Street, Fairview, OH, 44120, call (212) 555-0142, fb: john.t.99, email j@example.org, card 4111 1111 1111 1111, ssn 219-09-9999"
+	s := NewSession()
+	spans := s.Extract(dense) // warm arena, DFA cache, scratch
+	if len(spans) == 0 {
+		t.Fatal("dense dox produced no spans")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if len(s.Extract(dense)) == 0 {
+			t.Fatal("dense dox produced no spans")
+		}
+	}); avg != 0 {
+		t.Errorf("Session.Extract allocs/run = %v, want 0", avg)
+	}
+	var dst [16]Type
+	if avg := testing.AllocsPerRun(100, func() {
+		if len(s.AppendTypes(dst[:0], dense)) == 0 {
+			t.Fatal("dense dox produced no types")
+		}
+	}); avg != 0 {
+		t.Errorf("Session.AppendTypes allocs/run = %v, want 0", avg)
+	}
 }
 
 // TestExtractLargeInput exercises a pathological large document.

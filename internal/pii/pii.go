@@ -52,7 +52,10 @@ var (
 	reAddress = regexp.MustCompile(`(?i)\b\d{1,6}\s+(?:[A-Za-z0-9.'-]+\s){0,3}?(?:street|st|avenue|ave|road|rd|boulevard|blvd|drive|dr|lane|ln|court|ct|circle|cir|way|place|pl|terrace|ter)\.?(?:\s*,?\s*(?:apt|apartment|unit|suite|ste|#)\s*\.?\s*[A-Za-z0-9-]+)?(?:\s*,\s*[A-Za-z .]+,\s*[A-Z]{2}\s*,?\s*\d{5}(?:-\d{4})?)?\b`)
 
 	// US phone numbers: optional +1, separators, area code required.
-	rePhone = regexp.MustCompile(`(?:\+?1[-.\s]?)?\(?\b[2-9]\d{2}\)?[-.\s]\d{3}[-.\s]\d{4}\b`)
+	// The area-code parentheses are a single alternation so they only
+	// match as a balanced pair: the earlier independent `\(?`/`\)?`
+	// optionals accepted unbalanced forms like "(555 123-4567".
+	rePhone = regexp.MustCompile(`(?:\+?1[-.\s]?)?(?:\(\b[2-9]\d{2}\)|\b[2-9]\d{2})[-.\s]\d{3}[-.\s]\d{4}\b`)
 
 	// US SSN: strict AAA-GG-SSSS with the invalid prefixes excluded.
 	reSSN = regexp.MustCompile(`\b(?:\d{3}-\d{2}-\d{4})\b`)
@@ -119,39 +122,27 @@ func NewExtractor() *Extractor { return &Extractor{} }
 // Extract returns all PII matches in text, de-duplicated per (type,
 // normalised value), in deterministic order.
 //
-// One literal scan (see prefilter.go) decides which regex families can
-// possibly match; families whose gate literals are absent are skipped
-// entirely, so documents without PII cost a single linear pass and no
-// allocations. Output is identical to running every extractor
-// unconditionally (extractDirect, fuzz-verified).
+// Extraction runs on the one-pass engine (internal/pii/engine): a
+// Teddy-style multi-literal prefilter classifies the document and
+// yields candidate windows in a single scan, a lazy DFA gates the
+// digit families per digit region, and an exact backtracker extracts
+// spans with the legacy verify steps (Luhn, NANP, SSA ranges, handle
+// stoplists). Output is byte-identical to running every legacy regex
+// unconditionally (extractDirect, fuzz-verified). Documents without
+// PII cost a single linear pass and no allocations.
 func (e *Extractor) Extract(text string) []Match {
-	facts := scan(text)
+	s := sessionPool.Get().(*Session)
+	spans := s.es.Extract(text)
 	var out []Match
-	admitted := false
-	for i, p := range plans {
-		if !facts.admits(p) {
-			continue
-		}
-		admitted = true
-		ms := p.extract(text)
-		if e.m != nil {
-			e.m.admitted[i].Inc()
-			if len(ms) > 0 {
-				e.m.matches[i].Add(uint64(len(ms)))
-			}
-		}
-		out = append(out, ms...)
-	}
-	if e.m != nil {
-		e.m.scanned.Inc()
-		if !admitted {
-			e.m.clean.Inc()
+	if len(spans) > 0 {
+		out = make([]Match, len(spans))
+		for i := range spans {
+			out[i] = Match{Type: typeOfIndex[spans[i].Type], Value: string(spans[i].Value)}
 		}
 	}
-	if len(out) == 0 {
-		return nil
-	}
-	return dedupe(out)
+	e.record(&s.es.Stats)
+	sessionPool.Put(s)
+	return out
 }
 
 // extractDirect runs every extraction plan unconditionally — the
@@ -167,17 +158,18 @@ func extractDirect(text string) []Match {
 
 // Types returns the distinct PII types present in text, in Table 6 order.
 func (e *Extractor) Types(text string) []Type {
-	present := map[Type]bool{}
-	for _, m := range e.Extract(text) {
-		present[m.Type] = true
-	}
-	var out []Type
-	for _, t := range AllTypes() {
-		if present[t] {
-			out = append(out, t)
-		}
-	}
-	return out
+	return e.AppendTypes(nil, text)
+}
+
+// AppendTypes appends the distinct PII types present in text to dst,
+// in Table 6 order. Allocation-free when dst has capacity (at most
+// len(AllTypes()) entries are ever appended).
+func (e *Extractor) AppendTypes(dst []Type, text string) []Type {
+	s := sessionPool.Get().(*Session)
+	dst = s.AppendTypes(dst, text)
+	e.record(&s.es.Stats)
+	sessionPool.Put(s)
+	return dst
 }
 
 func extractSimple(t Type, re *regexp.Regexp, text string, norm func(string) string) []Match {

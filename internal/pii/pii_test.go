@@ -78,6 +78,37 @@ func TestPhones(t *testing.T) {
 	}
 }
 
+// TestPhoneParenBalance is the regression test for the unbalanced
+// area-code parentheses: the earlier pattern used independent `\(?`
+// and `\)?` optionals, so "(555 123-4567" matched with a dangling
+// open paren. The parens must only match as a balanced pair.
+func TestPhoneParenBalance(t *testing.T) {
+	balanced := map[string]string{
+		"(212) 555-0142":        "2125550142",
+		"+1 (415) 555-2671 now": "4155552671",
+	}
+	for text, want := range balanced {
+		got := values(t, text, Phone)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("balanced parens %q = %v, want [%s]", text, got, want)
+		}
+	}
+	unbalanced := []string{
+		"555) 234-5678",  // stray close paren: the old `\)?` consumed it
+		"(212( 555-0142", // open paren never closed
+	}
+	for _, text := range unbalanced {
+		if got := values(t, text, Phone); len(got) != 0 {
+			t.Errorf("unbalanced parens %q matched: %v", text, got)
+		}
+	}
+	// An unclosed open paren does not invalidate the bare number after
+	// it: the digits still match via the parenthesis-free alternative.
+	if got := values(t, "(555 234-5678", Phone); len(got) != 1 || got[0] != "5552345678" {
+		t.Errorf("bare number after stray open paren = %v, want [5552345678]", got)
+	}
+}
+
 func TestSSNs(t *testing.T) {
 	if got := values(t, "ssn: 219-09-9999", SSN); !reflect.DeepEqual(got, []string{"219-09-9999"}) {
 		t.Errorf("ssn = %v", got)

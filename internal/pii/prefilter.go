@@ -1,31 +1,36 @@
 package pii
 
-// The literal prefilter for PII extraction. The twelve extractor
-// regexes are precise but expensive, and the overwhelming majority of
-// streamed documents (§5.6 runs the extractors over every collected
-// message) contain no PII at all. Each regex family only ever matches
-// when certain fixed byte literals are present — an address needs a
-// digit and a street suffix, an email needs '@' and '.', a profile URL
-// needs its host name — so one linear scan that records which literals
-// occur lets clean documents skip every regex without changing any
-// output.
+// The literal gates for PII extraction. The twelve extractor families
+// are precise but expensive, and the overwhelming majority of streamed
+// documents (§5.6 runs the extractors over every collected message)
+// contain no PII at all. Each family only ever matches when certain
+// fixed byte literals are present — an address needs a digit and a
+// street suffix, an email needs '@' and '.', a profile URL needs its
+// host name — so one linear scan that records which literals occur
+// lets clean documents skip every family without changing any output.
 //
-// The scan is a byte-level Aho-Corasick automaton over all gate
-// literals at once (dense transitions, output bitmasks merged through
-// the fail links), plus an ASCII digit count. Matching is substring
-// matching over an ASCII-lowered view of the text; the only non-ASCII
-// characters Go's (?i) simple case folding maps onto ASCII letters —
-// U+017F (long s -> 's') and U+212A (Kelvin sign -> 'k') — are folded
-// by hand so a regex can never match where the scanner saw nothing.
-// All other non-ASCII bytes reset the automaton; they cannot occur
-// inside any literal.
+// The scan itself lives in the one-pass engine's Teddy-style
+// multi-literal prefilter (internal/pii/engine): all gate literals are
+// matched simultaneously by a bit-parallel Shift-And automaton over an
+// ASCII-lowered view of the text, alongside the digit count/runs and
+// tracked-literal events the engine's candidate enumeration consumes.
+// The only non-ASCII characters Go's (?i) simple case folding maps
+// onto ASCII letters — U+017F (long s -> 's') and U+212A (Kelvin sign
+// -> 'k') — are folded by hand so a regex can never match where the
+// scanner saw nothing. All other non-ASCII bytes reset the automaton;
+// they cannot occur inside any literal.
 //
 // Gates are conservative by construction: every gate is a *necessary*
 // condition for its regex family, never an exact one, so a gated
 // Extract is always a superset-safe rewrite of running the regexes
 // directly. FuzzExtractPrefilterEquivalence holds the two paths equal.
 
-import "strings"
+import (
+	"strings"
+	"sync"
+
+	"harassrepro/internal/pii/engine"
+)
 
 // Literal registration: lit interns a literal and returns its bitmask;
 // masks combine into anyOf-groups below.
@@ -69,12 +74,10 @@ type plan struct {
 
 // plans holds the extraction plans in the fixed legacy Extract order
 // (address, cards, email, facebook, instagram, phone, ssn, twitter,
-// youtube) so gating never reorders matches fed into dedupe.
+// youtube) so gating never reorders matches fed into dedupe. The
+// extract closures are the legacy regex path, kept as the
+// differential-fuzz oracle (extractDirect).
 var plans []plan
-
-// pf is the compiled literal automaton, built once from every literal
-// the plans registered.
-var pf *acMatcher
 
 func init() {
 	streetSuffix := anyOf(
@@ -137,7 +140,7 @@ func init() {
 			},
 		},
 	}
-	pf = buildACMatcher(acLiterals)
+	eng = buildEngine()
 }
 
 // scanFacts is what one pass over a document establishes: the set of
@@ -161,91 +164,16 @@ func (f scanFacts) admits(p plan) bool {
 	return true
 }
 
-// scan runs the automaton over text. Allocation-free.
+// factsPool recycles engine fact buffers for the package-level scan
+// helper (Extract itself scans inside its pooled engine session).
+var factsPool = sync.Pool{New: func() any { return &engine.Facts{} }}
+
+// scan runs the engine's Teddy prefilter over text and reduces the
+// result to the gate facts. Allocation-free in steady state.
 func scan(text string) scanFacts {
-	var f scanFacts
-	s := int16(0)
-	for i := 0; i < len(text); i++ {
-		c := text[i]
-		if c < 0x80 {
-			if 'A' <= c && c <= 'Z' {
-				c += 'a' - 'A'
-			} else if '0' <= c && c <= '9' {
-				f.digits++
-			}
-		} else if c == 0xC5 && i+1 < len(text) && text[i+1] == 0xBF {
-			c, i = 's', i+1 // U+017F LATIN SMALL LETTER LONG S folds to 's'
-		} else if c == 0xE2 && i+2 < len(text) && text[i+1] == 0x84 && text[i+2] == 0xAA {
-			c, i = 'k', i+2 // U+212A KELVIN SIGN folds to 'k'
-		} else {
-			s = 0 // non-ASCII byte: no literal continues through it
-			continue
-		}
-		s = pf.next[s][c]
-		f.lits |= pf.out[s]
-	}
-	return f
-}
-
-// acMatcher is a dense-transition Aho-Corasick automaton over ASCII
-// bytes. next[s][c] is the goto-or-fail transition; out[s] is the
-// bitmask of literals ending at (or at a suffix of) state s.
-type acMatcher struct {
-	next [][128]int16
-	out  []uint64
-}
-
-// buildACMatcher compiles the literal set. Literals must be non-empty
-// ASCII; the automaton is tiny (a few hundred states) and built once at
-// package init.
-func buildACMatcher(lits []string) *acMatcher {
-	type node struct {
-		child map[byte]int16
-		out   uint64
-	}
-	nodes := []node{{child: map[byte]int16{}}}
-	for i, l := range lits {
-		s := int16(0)
-		for j := 0; j < len(l); j++ {
-			c := l[j]
-			if c >= 0x80 {
-				panic("pii: non-ASCII prefilter literal " + l)
-			}
-			nxt, ok := nodes[s].child[c]
-			if !ok {
-				nxt = int16(len(nodes))
-				nodes = append(nodes, node{child: map[byte]int16{}})
-				nodes[s].child[c] = nxt
-			}
-			s = nxt
-		}
-		nodes[s].out |= 1 << uint(i)
-	}
-
-	m := &acMatcher{next: make([][128]int16, len(nodes)), out: make([]uint64, len(nodes))}
-	for i := range nodes {
-		m.out[i] = nodes[i].out
-	}
-	fail := make([]int16, len(nodes))
-	var queue []int16
-	for c, nxt := range nodes[0].child {
-		m.next[0][c] = nxt
-		queue = append(queue, nxt)
-	}
-	// BFS order guarantees fail[s] is fully resolved before s.
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		m.out[s] |= m.out[fail[s]]
-		for c := 0; c < 128; c++ {
-			if nxt, ok := nodes[s].child[byte(c)]; ok {
-				fail[nxt] = m.next[fail[s]][c]
-				queue = append(queue, nxt)
-				m.next[s][c] = nxt
-			} else {
-				m.next[s][c] = m.next[fail[s]][c]
-			}
-		}
-	}
-	return m
+	f := factsPool.Get().(*engine.Facts)
+	eng.ScanFacts(text, f)
+	sf := scanFacts{lits: f.LitMask, digits: f.Digits}
+	factsPool.Put(f)
+	return sf
 }

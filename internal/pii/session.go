@@ -1,0 +1,98 @@
+package pii
+
+// Session: the pooled zero-allocation extraction API over the
+// one-pass engine. A Session owns all scratch (prefilter facts,
+// backtracker, lazy-DFA cache, value arena); steady-state Extract
+// performs no heap allocations. Extractor keeps a pool of sessions
+// so the legacy allocating API and the scorer hot path share warm
+// state.
+
+import (
+	"sync"
+
+	"harassrepro/internal/pii/engine"
+)
+
+// eng is the compiled one-pass engine, built at the end of package
+// init (after the plans assign gate-literal bits).
+var eng *engine.Engine
+
+// Span is one extracted PII instance with its byte extent in the
+// scanned document. Value aliases the session arena and is only
+// valid until the session's next Extract call; copy it to retain.
+type Span struct {
+	Type       Type
+	Start, End int
+	Value      []byte
+}
+
+// Session is a reusable extraction context. Not safe for concurrent
+// use; use one per goroutine (Extractor pools them internally).
+type Session struct {
+	es    *engine.Session
+	spans []Span
+}
+
+// NewSession returns a warm, reusable extraction session.
+func NewSession() *Session { return &Session{es: eng.NewSession()} }
+
+// Extract scans text and returns verified, normalised, de-duplicated
+// spans sorted by (type, value) — the same match set as
+// Extractor.Extract, without allocating. The returned slice is valid
+// until the next call on this session.
+func (s *Session) Extract(text string) []Span {
+	out := s.es.Extract(text)
+	s.spans = s.spans[:0]
+	for i := range out {
+		s.spans = append(s.spans, Span{
+			Type:  typeOfIndex[out[i].Type],
+			Start: out[i].Start,
+			End:   out[i].End,
+			Value: out[i].Value,
+		})
+	}
+	return s.spans
+}
+
+// AppendTypes extracts text and appends the distinct PII types
+// present to dst, in Table 6 order. Allocation-free when dst has
+// capacity.
+func (s *Session) AppendTypes(dst []Type, text string) []Type {
+	out := s.es.Extract(text)
+	last := -1
+	for i := range out {
+		if out[i].Type != last {
+			dst = append(dst, typeOfIndex[out[i].Type])
+			last = out[i].Type
+		}
+	}
+	return dst
+}
+
+// stats exposes the engine stats of the session's last Extract.
+func (s *Session) stats() *engine.Stats { return &s.es.Stats }
+
+var sessionPool = sync.Pool{New: func() any { return NewSession() }}
+
+// record folds one scan's engine stats into the extractor metrics,
+// preserving the legacy counter semantics: scanned per document,
+// clean when no gate admitted, admitted per admitted plan, matches
+// counting verified raw (pre-dedupe) matches.
+func (e *Extractor) record(st *engine.Stats) {
+	if e.m == nil {
+		return
+	}
+	e.m.scanned.Inc()
+	if st.Admitted == 0 {
+		e.m.clean.Inc()
+		return
+	}
+	for i := range plans {
+		if st.Admitted&(1<<uint(i)) != 0 {
+			e.m.admitted[i].Inc()
+			if n := st.Matches[i]; n > 0 {
+				e.m.matches[i].Add(uint64(n))
+			}
+		}
+	}
+}

@@ -37,6 +37,22 @@ echo "== alloc-regression tests"
 go test -run 'Allocs' ./internal/tokenize/ ./internal/features/ ./internal/pii/ ./internal/core/ ./internal/obs/
 
 if [[ $fast -eq 0 ]]; then
+  # Differential fuzz smoke: the one-pass PII engine must stay
+  # byte-identical to the legacy regex cascade (its in-tree oracle).
+  # A short guided run on top of the committed corpus catches gate or
+  # automaton soundness bugs before they need a long campaign.
+  echo "== pii differential fuzz smoke (-fuzztime=10s)"
+  go test -run '^$' -fuzz '^FuzzExtractPrefilterEquivalence$' -fuzztime 10s ./internal/pii/
+
+  # PII perf gate: pii/dense-dox must hold at least 3x over the
+  # regex-cascade figure it replaced (58581.56 ns/op) and stay
+  # allocation-free; catches engine performance regressions without
+  # training the full pipeline.
+  echo "== pii perf gate (benchscore -pii-only -gate-pii)"
+  go run ./cmd/benchscore -pii-only -gate-pii
+fi
+
+if [[ $fast -eq 0 ]]; then
   # Benchmark smoke: every benchmark must still run (one iteration, no
   # timing claims) so bench rot is caught here, not at release time.
   echo "== benchmark smoke (-benchtime=1x)"
