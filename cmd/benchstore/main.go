@@ -1,0 +1,365 @@
+// Command benchstore measures the segmented corpus store end to end
+// and writes BENCH_store.json: sequential scan throughput (MB/s and
+// docs/sec), inverted-index lookup latency, incremental append
+// throughput, and the end-to-end cost of streaming the scoring
+// pipeline's input from the store instead of from memory.
+//
+// Run via scripts/bench_store.sh. The store is built fresh in a temp
+// directory from the quick-scale synthetic corpora (seed 1), so the
+// numbers describe this machine and tree, not a committed baseline.
+//
+// Two flags support the CI gate in scripts/check.sh:
+//
+//	-store-only   skip pipeline training and measure only the raw
+//	              store entries (scan/lookup/append)
+//	-gate-stream  exit non-zero if store-streamed ScoreStream
+//	              throughput falls below 0.9x the in-memory run
+//	              (the store must cost at most 10% on the hot path)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	harassrepro "harassrepro"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/corpus/store"
+)
+
+// streamGateMinRatio is the -gate-stream floor: store-streamed scoring
+// must retain at least this fraction of the in-memory ScoreStream
+// throughput measured in the same invocation.
+const streamGateMinRatio = 0.9
+
+// metrics is one measured workload. MBPerSec is set only for entries
+// that stream a known byte volume per op (the sequential scan).
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerDoc    float64 `json:"ns_per_doc"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// entry pairs a workload's measurement with an optional same-run
+// reference (the in-memory scoring run for the stream-overhead ratio).
+type entry struct {
+	Name      string   `json:"name"`
+	DocsPerOp int      `json:"docs_per_op"`
+	Baseline  *metrics `json:"baseline,omitempty"`
+	Current   metrics  `json:"current"`
+	Speedup   float64  `json:"speedup_vs_baseline,omitempty"`
+}
+
+type report struct {
+	Description string  `json:"description"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	StoreDocs   int     `json:"store_docs"`
+	StoreBytes  int64   `json:"store_bytes"`
+	Segments    int     `json:"segments"`
+	Entries     []entry `json:"entries"`
+}
+
+func finish(m metrics, docsPerOp int, bytesPerOp int64) metrics {
+	m.NsPerDoc = m.NsPerOp / float64(docsPerOp)
+	if m.NsPerDoc > 0 {
+		m.DocsPerSec = 1e9 / m.NsPerDoc
+	}
+	if bytesPerOp > 0 && m.NsPerOp > 0 {
+		m.MBPerSec = float64(bytesPerOp) / (1 << 20) * 1e9 / m.NsPerOp
+	}
+	return m
+}
+
+// measure runs fn under the testing benchmark driver. streamedBytes is
+// the byte volume fn reads per op (0 when not meaningful).
+func measure(name string, docsPerOp int, streamedBytes int64, baseline *metrics, fn func(b *testing.B)) entry {
+	fmt.Fprintf(os.Stderr, "benchstore: measuring %s...\n", name)
+	r := testing.Benchmark(fn)
+	cur := finish(metrics{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, docsPerOp, streamedBytes)
+	e := entry{Name: name, DocsPerOp: docsPerOp, Baseline: baseline, Current: cur}
+	if baseline != nil && cur.NsPerOp > 0 {
+		e.Speedup = baseline.NsPerOp / cur.NsPerOp
+	}
+	return e
+}
+
+// buildStore writes the quick-scale corpora (seed 1) into a fresh
+// store under dir, exactly as `corpusgen -store` would.
+func buildStore(dir string) (*store.Store, error) {
+	cfg := harassrepro.QuickConfig(1)
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed:          cfg.Seed,
+		VolumeScale:   cfg.VolumeScale,
+		PositiveScale: cfg.PositiveScale,
+	})
+	corpora := gen.Generate()
+	blogs := gen.GenerateBlogs(corpus.DefaultBlogSpecs(cfg.BlogScale))
+	s, err := store.Create(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.WriteCorpora(s, corpora, blogs, 0); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// gateStream enforces the streaming-overhead floor on the
+// score-stream-store entry measured this run.
+func gateStream(entries []entry) error {
+	for _, e := range entries {
+		if e.Name != "store/score-stream" {
+			continue
+		}
+		if e.Speedup < streamGateMinRatio {
+			return fmt.Errorf("store/score-stream throughput is %.2fx the in-memory run, gate requires >= %.2fx (store %.0f ns/op vs memory %.0f ns/op)",
+				e.Speedup, streamGateMinRatio, e.Current.NsPerOp, e.Baseline.NsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "benchstore: stream gate ok: store-streamed scoring at %.2fx in-memory throughput (floor %.2fx)\n",
+			e.Speedup, streamGateMinRatio)
+		return nil
+	}
+	return fmt.Errorf("stream gate: no store/score-stream entry measured (ran with -store-only?)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchstore:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_store.json", "output file (empty: don't write)")
+	storeOnly := flag.Bool("store-only", false, "measure only scan/lookup/append (no pipeline training)")
+	gate := flag.Bool("gate-stream", false, "fail if store-streamed scoring drops below 0.9x in-memory throughput")
+	flag.Parse()
+	if *gate && *storeOnly {
+		fatal(fmt.Errorf("-gate-stream needs the stream entries; drop -store-only"))
+	}
+
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintln(os.Stderr, "benchstore: building quick-scale store (seed 1)...")
+	s, err := buildStore(dir + "/corpus-store")
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	var storeBytes int64
+	for _, si := range s.Segments() {
+		storeBytes += si.SegBytes + si.IdxBytes
+	}
+	totalDocs := s.Docs()
+	fmt.Fprintf(os.Stderr, "benchstore: store ready: %d docs, %d segments, %.1f MiB\n",
+		totalDocs, len(s.Segments()), float64(storeBytes)/(1<<20))
+
+	rep := report{
+		Description: "Segmented corpus store benchmarks: sequential Scan over every committed segment (checksum + decode of each record), inverted-index Lookup (posting iteration only) and LookupDocs (posting iteration + point decode of each match), incremental Append of 1000-document batches (fsynced segment + index + manifest commit per op), and the end-to-end streaming comparison — ScoreStream fed from a store Scan versus the same documents already in memory. The store is built fresh from the quick-scale synthetic corpora at seed 1, so entries describe this machine and tree. store/score-stream's baseline is the in-memory run from the same invocation: its speedup_vs_baseline is the direct streaming-overhead ratio and must stay >= 0.90 (<= 10% overhead, the scripts/check.sh gate).",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		StoreDocs:   totalDocs,
+		StoreBytes:  storeBytes,
+		Segments:    len(s.Segments()),
+	}
+
+	rep.Entries = append(rep.Entries, measure("store/scan", totalDocs, storeBytes, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := s.Scan(func(d *corpus.Document, _ store.DocRef) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != totalDocs {
+				b.Fatalf("scan decoded %d docs, store has %d", n, totalDocs)
+			}
+		}
+	}))
+
+	// Index lookups use a planted-attack token ("mass", from the
+	// mass-reporting positives) so the posting lists are non-trivial but
+	// far from full-store.
+	const token = "mass"
+	matches := 0
+	s.Lookup(token, func(store.DocRef) bool { matches++; return true })
+	if matches == 0 {
+		fatal(fmt.Errorf("token %q has no matches in the benchmark store", token))
+	}
+	rep.Entries = append(rep.Entries,
+		measure("store/lookup", matches, 0, nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				s.Lookup(token, func(store.DocRef) bool { n++; return true })
+				if n != matches {
+					b.Fatalf("lookup found %d matches, want %d", n, matches)
+				}
+			}
+		}),
+		measure("store/lookup-docs", matches, 0, nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := s.LookupDocs(token, func(d *corpus.Document, _ store.DocRef) error {
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != matches {
+					b.Fatalf("lookup-docs decoded %d matches, want %d", n, matches)
+				}
+			}
+		}),
+	)
+
+	// Incremental append: each op commits one 1000-document segment
+	// (write + fsync of segment, index and manifest) into a growing
+	// store, the `corpusgen -store -append` steady state.
+	batch := make([]corpus.Document, 0, 1000)
+	if err := s.Scan(func(d *corpus.Document, _ store.DocRef) error {
+		if len(batch) < cap(batch) {
+			batch = append(batch, *d)
+		}
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	appendStore, err := store.Create(dir + "/append-store")
+	if err != nil {
+		fatal(err)
+	}
+	defer appendStore.Close()
+	rep.Entries = append(rep.Entries, measure("store/append-1k", len(batch), 0, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := appendStore.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	if !*storeOnly {
+		rep.Entries = append(rep.Entries, streamEntries(s, totalDocs)...)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	printEntries(rep.Entries)
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchstore: wrote %s\n", *out)
+	}
+	if *gate {
+		if err := gateStream(rep.Entries); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// streamEntries trains the quick-scale detector once and measures
+// ScoreStream over the store's documents twice: fed from a slice
+// already in memory, and fed from a fresh Scan per op. The delta is
+// the full cost the store adds to the scoring hot path (open file
+// reads, checksums, record decode, slice rebuild).
+func streamEntries(s *store.Store, totalDocs int) []entry {
+	fmt.Fprintln(os.Stderr, "benchstore: training quick-scale pipeline (one-time setup)...")
+	study, err := harassrepro.Run(harassrepro.QuickConfig(1))
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "benchstore-models")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := study.SaveModels(dir); err != nil {
+		fatal(err)
+	}
+	det, err := harassrepro.LoadDetector(dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	collect := func(docs []harassrepro.StreamDocument) []harassrepro.StreamDocument {
+		docs = docs[:0]
+		err := s.Scan(func(d *corpus.Document, _ store.DocRef) error {
+			docs = append(docs, harassrepro.StreamDocument{ID: d.ID, Text: d.Text})
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return docs
+	}
+	inMem := collect(make([]harassrepro.StreamDocument, 0, totalDocs))
+
+	score := func(b *testing.B, docs []harassrepro.StreamDocument) {
+		_, sum, err := det.ScoreStream(context.Background(), docs, harassrepro.StreamOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Succeeded != len(docs) {
+			b.Fatalf("summary = %+v", sum)
+		}
+	}
+
+	mem := measure("memory/score-stream", totalDocs, 0, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			score(b, inMem)
+		}
+	})
+	memCur := mem.Current
+
+	scratch := make([]harassrepro.StreamDocument, 0, totalDocs)
+	fromStore := measure("store/score-stream", totalDocs, 0, &memCur, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scratch = collect(scratch)
+			score(b, scratch)
+		}
+	})
+	return []entry{mem, fromStore}
+}
+
+func printEntries(entries []entry) {
+	for _, e := range entries {
+		line := fmt.Sprintf("%-24s %14.0f ns/op %10d B/op %8d allocs/op %14.0f docs/sec",
+			e.Name, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp, e.Current.DocsPerSec)
+		if e.Current.MBPerSec > 0 {
+			line += fmt.Sprintf("   %.1f MB/s", e.Current.MBPerSec)
+		}
+		if e.Speedup > 0 {
+			line += fmt.Sprintf("   %.2fx vs in-memory", e.Speedup)
+		}
+		fmt.Println(line)
+	}
+}

@@ -20,9 +20,15 @@
 // of the run. -max-doc-bytes rejects oversized lines into the
 // dead-letter summary instead of scoring them.
 //
+// With -store, documents are streamed from a segmented corpus store
+// (built by corpusgen -store) instead of stdin — one segment at a time,
+// so memory stays bounded; -token restricts the stream to the store's
+// inverted-index matches for a single token.
+//
 // Usage:
 //
 //	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N] [-metrics] [-metrics-addr :9090] [-max-doc-bytes N]
+//	cthdetect -store DIR [-token mass] [-rules-only] ...
 package main
 
 import (
@@ -35,6 +41,8 @@ import (
 	"time"
 
 	"harassrepro"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/corpus/store"
 	"harassrepro/internal/obs"
 	"harassrepro/internal/obs/obshttp"
 	"harassrepro/internal/pii"
@@ -87,8 +95,13 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		maxDocBytes = flag.Int("max-doc-bytes", 0, "dead-letter lines longer than this many bytes (0 = no limit)")
+		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin")
+		storeToken  = flag.String("token", "", "with -store: score only documents whose inverted index matches this token")
 	)
 	flag.Parse()
+	if *storeToken != "" && *storeDir == "" {
+		fail("-token requires -store")
+	}
 
 	var reg *obs.Registry
 	if *metrics || *metricsAddr != "" {
@@ -205,6 +218,10 @@ func main() {
 	scanErr := make(chan error, 1)
 	go func() {
 		defer close(in)
+		if *storeDir != "" {
+			scanErr <- feedFromStore(*storeDir, *storeToken, in)
+			return
+		}
 		scan := bufio.NewScanner(os.Stdin)
 		scan.Buffer(make([]byte, 1<<20), 1<<20)
 		for scan.Scan() {
@@ -257,9 +274,35 @@ func main() {
 		}
 	}
 	if err := <-scanErr; err != nil {
-		fail("reading stdin: %v", err)
+		fail("reading input: %v", err)
 	}
 	exit(0)
+}
+
+// feedFromStore streams document texts out of a segmented corpus store
+// — the whole store in commit order, or just the inverted-index
+// matches for token. Documents are decoded one segment at a time, so
+// memory stays bounded regardless of store size.
+func feedFromStore(dir, token string, in chan<- row) error {
+	s, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for _, torn := range s.Recovery().Torn {
+		fmt.Fprintf(os.Stderr, "cthdetect: store recovered torn segment %s (%d docs salvaged)\n",
+			torn.Name, torn.SalvagedDocs)
+	}
+	emit := func(d *corpus.Document, _ store.DocRef) error {
+		if strings.TrimSpace(d.Text) != "" {
+			in <- row{Text: d.Text}
+		}
+		return nil
+	}
+	if token != "" {
+		return s.LookupDocs(token, emit)
+	}
+	return s.Scan(emit)
 }
 
 // chMutex is a channel-based optional mutex: the zero value (nil) is a

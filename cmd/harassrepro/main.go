@@ -5,6 +5,11 @@
 //
 //	harassrepro [-seed N] [-scale quick|default] [-experiment id|all]
 //	            [-workers N] [-metrics] [-metrics-addr :9090] [-list]
+//	            [-store DIR]
+//
+// With -store, the corpora are streamed from a segmented corpus store
+// (built by corpusgen -store with matching seed and scales) instead of
+// generated in memory; outputs are byte-identical to the generate path.
 //
 // With -experiment all (the default) every registered experiment is
 // reproduced in paper order. The pipeline runs on a memoized artifact
@@ -64,6 +69,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool size for stage/experiment scheduling (0 = GOMAXPROCS)")
 		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		storeDir    = flag.String("store", "", "stream corpora from the segmented corpus store at this directory (built by corpusgen -store) instead of generating them")
 	)
 	flag.Parse()
 
@@ -100,7 +106,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "running pipeline (seed %d, scale %s)...\n", *seed, *scale)
 	start := time.Now()
-	p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers, Metrics: reg})
+	p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers, Metrics: reg, StorePath: *storeDir})
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -14,10 +14,16 @@
 // -metrics-addr serves the live registry at /metrics plus the
 // net/http/pprof endpoints while the scan runs.
 //
+// With -store, documents are streamed from a segmented corpus store
+// (built by corpusgen -store) instead of stdin, one segment at a time;
+// -token restricts the stream to the store's inverted-index matches.
+// -store implies -stream.
+//
 // Usage:
 //
 //	piiscan [-json] [-metrics] < document.txt
 //	piiscan -stream [-json] [-workers N] [-metrics] [-metrics-addr :9090] < documents.txt
+//	piiscan -store DIR [-token paste] [-json] [-workers N]
 package main
 
 import (
@@ -32,6 +38,8 @@ import (
 	"time"
 
 	"harassrepro"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/corpus/store"
 	"harassrepro/internal/gender"
 	"harassrepro/internal/harm"
 	"harassrepro/internal/obs"
@@ -73,8 +81,16 @@ func main() {
 		workers     = flag.Int("workers", 0, "with -stream: worker pool size (0 = GOMAXPROCS)")
 		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin (implies -stream)")
+		storeToken  = flag.String("token", "", "with -store: scan only documents whose inverted index matches this token")
 	)
 	flag.Parse()
+	if *storeToken != "" && *storeDir == "" {
+		fail("-token requires -store")
+	}
+	if *storeDir != "" {
+		*stream = true
+	}
 
 	var reg *obs.Registry
 	if *metrics || *metricsAddr != "" {
@@ -91,7 +107,7 @@ func main() {
 	}
 
 	if *stream {
-		runStream(*jsonOut, *workers, reg)
+		runStream(*jsonOut, *workers, reg, *storeDir, *storeToken)
 		dumpMetrics(*metrics, reg)
 		exit(0)
 	}
@@ -182,8 +198,9 @@ func printScan(s *scan) {
 	fmt.Printf("likely target gender: %s\n", s.Gender)
 }
 
-// runStream processes one document per line on the resilience runtime.
-func runStream(jsonOut bool, workers int, reg *obs.Registry) {
+// runStream processes one document per line (or per store record) on
+// the resilience runtime.
+func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToken string) {
 	runner := resilience.NewRunner(resilience.Config[scan]{
 		Workers: workers,
 		Ordered: true,
@@ -207,6 +224,10 @@ func runStream(jsonOut bool, workers int, reg *obs.Registry) {
 	scanErr := make(chan error, 1)
 	go func() {
 		defer close(in)
+		if storeDir != "" {
+			scanErr <- feedFromStore(storeDir, storeToken, in)
+			return
+		}
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
 		for sc.Scan() {
@@ -246,6 +267,31 @@ func runStream(jsonOut bool, workers int, reg *obs.Registry) {
 		fmt.Fprintf(os.Stderr, "  dead-letter %s\n", dl)
 	}
 	if err := <-scanErr; err != nil {
-		fail("reading stdin: %v", err)
+		fail("reading input: %v", err)
 	}
+}
+
+// feedFromStore streams document texts out of a segmented corpus
+// store, whole or restricted to one inverted-index token, decoding one
+// segment at a time so memory stays bounded.
+func feedFromStore(dir, token string, in chan<- scan) error {
+	s, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for _, torn := range s.Recovery().Torn {
+		fmt.Fprintf(os.Stderr, "piiscan: store recovered torn segment %s (%d docs salvaged)\n",
+			torn.Name, torn.SalvagedDocs)
+	}
+	emit := func(d *corpus.Document, _ store.DocRef) error {
+		if strings.TrimSpace(d.Text) != "" {
+			in <- scan{Text: d.Text}
+		}
+		return nil
+	}
+	if token != "" {
+		return s.LookupDocs(token, emit)
+	}
+	return s.Scan(emit)
 }

@@ -38,6 +38,14 @@ type Options struct {
 	// NoMemo recomputes derived artifacts on every use (the pre-graph
 	// monolith's behavior), for before/after benchmarking.
 	NoMemo bool
+	// StorePath, if set, streams the corpora and blogs from the
+	// segmented corpus store at that directory (built by corpusgen
+	// -store) instead of generating them from the seed. The store's
+	// manifest generation is folded into the graph fingerprint, so
+	// memoized artifacts invalidate when segments are appended. Outputs
+	// are byte-identical to the in-memory run for a store written from
+	// the same seed and scales (pinned by golden_store_test.go).
+	StorePath string
 }
 
 // Pipeline stage and artifact node names.
@@ -64,32 +72,56 @@ type doxPII struct {
 
 // initGraph registers every pipeline stage and derived artifact.
 // Stage functions assign the Pipeline's exported fields; the graph's
-// latches give readers the necessary happens-before edges.
-func (p *Pipeline) initGraph(opts Options) {
+// latches give readers the necessary happens-before edges. storeGen is
+// the corpus store's manifest generation for store-backed runs (zero
+// and unused otherwise).
+func (p *Pipeline) initGraph(opts Options, storeGen uint64) {
+	fp := graph.Fingerprint(p.Config)
+	if opts.StorePath != "" {
+		fp = graph.Fingerprint(storeFingerprint{Config: p.Config, StorePath: opts.StorePath, Generation: storeGen})
+	}
 	p.g = graph.New(graph.Config{
 		Seed:        p.Config.Seed,
-		Fingerprint: graph.Fingerprint(p.Config),
+		Fingerprint: fp,
 		Metrics:     opts.Metrics,
 		Workers:     opts.Workers,
 		NoMemo:      opts.NoMemo,
 	})
 	g := p.g
 
-	// Step 1 (Figure 1): raw data sets. Blogs consume the generator's
-	// rng stream after the main corpora, so they depend on it.
-	g.Register(StageCorpora, nil, func() (any, error) {
-		p.Gen = corpus.NewGenerator(corpus.Config{
-			Seed:          p.Config.Seed,
-			VolumeScale:   p.Config.VolumeScale,
-			PositiveScale: p.Config.PositiveScale,
+	// Step 1 (Figure 1): raw data sets. In the generate path blogs
+	// consume the generator's rng stream after the main corpora, so they
+	// depend on it; in the store path one Scan loads everything and
+	// StageBlogs hands over what the scan set aside.
+	if opts.StorePath != "" {
+		var storeBlogs *corpus.Corpus
+		g.Register(StageCorpora, nil, func() (any, error) {
+			var err error
+			p.Corpora, storeBlogs, err = loadStoreCorpora(opts.StorePath)
+			if err != nil {
+				return nil, err
+			}
+			return p.Corpora, nil
 		})
-		p.Corpora = p.Gen.Generate()
-		return p.Corpora, nil
-	})
-	g.Register(StageBlogs, []string{StageCorpora}, func() (any, error) {
-		p.Blogs = p.Gen.GenerateBlogs(corpus.DefaultBlogSpecs(p.Config.BlogScale))
-		return p.Blogs, nil
-	})
+		g.Register(StageBlogs, []string{StageCorpora}, func() (any, error) {
+			p.Blogs = storeBlogs
+			return p.Blogs, nil
+		})
+	} else {
+		g.Register(StageCorpora, nil, func() (any, error) {
+			p.Gen = corpus.NewGenerator(corpus.Config{
+				Seed:          p.Config.Seed,
+				VolumeScale:   p.Config.VolumeScale,
+				PositiveScale: p.Config.PositiveScale,
+			})
+			p.Corpora = p.Gen.Generate()
+			return p.Corpora, nil
+		})
+		g.Register(StageBlogs, []string{StageCorpora}, func() (any, error) {
+			p.Blogs = p.Gen.GenerateBlogs(corpus.DefaultBlogSpecs(p.Config.BlogScale))
+			return p.Blogs, nil
+		})
+	}
 
 	// Shared text stack: WordPiece vocabulary trained on a corpus
 	// sample, hashed n-gram features.

@@ -209,7 +209,14 @@ func RunWithOptions(cfg Config, opts Options) (*Pipeline, error) {
 		rng:    randx.New(cfg.Seed).Split("core"),
 		opts:   opts,
 	}
-	p.initGraph(opts)
+	var storeGen uint64
+	if opts.StorePath != "" {
+		var err error
+		if storeGen, err = probeStoreGeneration(opts.StorePath); err != nil {
+			return nil, err
+		}
+	}
+	p.initGraph(opts, storeGen)
 
 	// Materialize the run's terminal stages; the graph pulls in their
 	// dependencies (corpora, tokenizer, hasher) exactly once each.

@@ -31,6 +31,11 @@ type JSONLDocument struct {
 type LineError struct {
 	// Line is the 1-based line number in the input stream.
 	Line int
+	// Offset is the byte offset of the line's first byte in the input
+	// stream. For oversized lines — where the line number alone cannot
+	// locate anything because the offending data spans megabytes — this
+	// is what lets tooling seek straight to the damage.
+	Offset int64
 	// Err is the parse or validation failure.
 	Err error
 	// Preview is a short prefix of the offending line (never more than
@@ -42,9 +47,9 @@ const previewLen = 80
 
 func (e LineError) Error() string {
 	if e.Preview == "" {
-		return fmt.Sprintf("corpus: jsonl line %d: %v", e.Line, e.Err)
+		return fmt.Sprintf("corpus: jsonl line %d (byte %d): %v", e.Line, e.Offset, e.Err)
 	}
-	return fmt.Sprintf("corpus: jsonl line %d: %v (line starts %q)", e.Line, e.Err, e.Preview)
+	return fmt.Sprintf("corpus: jsonl line %d (byte %d): %v (line starts %q)", e.Line, e.Offset, e.Err, e.Preview)
 }
 
 func (e LineError) Unwrap() error { return e.Err }
@@ -93,17 +98,20 @@ func ReadJSONLOpts(r io.Reader, opts JSONLOptions) (docs []Document, bad []LineE
 	}
 	br := bufio.NewReaderSize(r, 64<<10)
 	line := 0
+	var offset int64 // byte offset of the next unread line's start
 	for {
-		raw, tooLong, rerr := readLine(br, opts.MaxLineBytes)
+		lineStart := offset
+		raw, consumed, tooLong, rerr := readLine(br, opts.MaxLineBytes)
+		offset += consumed
 		if rerr != nil && rerr != io.EOF {
-			return docs, bad, fmt.Errorf("corpus: jsonl line %d: read: %w", line+1, rerr)
+			return docs, bad, fmt.Errorf("corpus: jsonl line %d (byte %d): read: %w", line+1, lineStart, rerr)
 		}
 		if len(raw) == 0 && !tooLong && rerr == io.EOF {
 			return docs, bad, nil
 		}
 		line++
 		fail := func(cause error, preview string) error {
-			le := LineError{Line: line, Err: cause, Preview: preview}
+			le := LineError{Line: line, Offset: lineStart, Err: cause, Preview: preview}
 			if opts.Lenient {
 				bad = append(bad, le)
 				return nil
@@ -140,11 +148,15 @@ func preview(raw []byte) string {
 
 // readLine reads one newline-terminated line of at most max bytes. A
 // longer line is discarded to its end and reported with tooLong=true,
-// returning only a short retained prefix for diagnostics. err is
-// io.EOF at end of input (the final line may be unterminated).
-func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+// returning only a short retained prefix for diagnostics. consumed is
+// the exact number of input bytes this line occupied — terminator and
+// discarded overflow included — so the caller can maintain byte
+// offsets. err is io.EOF at end of input (the final line may be
+// unterminated).
+func readLine(br *bufio.Reader, max int) (line []byte, consumed int64, tooLong bool, err error) {
 	for {
 		frag, rerr := br.ReadSlice('\n')
+		consumed += int64(len(frag))
 		hasNL := len(frag) > 0 && frag[len(frag)-1] == '\n'
 		if !tooLong {
 			line = append(line, frag...)
@@ -163,14 +175,14 @@ func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) 
 		}
 		switch {
 		case hasNL:
-			return line, tooLong, nil
+			return line, consumed, tooLong, nil
 		case rerr == bufio.ErrBufferFull:
 			continue
 		case rerr == nil:
 			// ReadSlice without delim or error cannot happen; loop.
 			continue
 		default:
-			return line, tooLong, rerr
+			return line, consumed, tooLong, rerr
 		}
 	}
 }

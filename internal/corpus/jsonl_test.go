@@ -299,6 +299,63 @@ func TestReadJSONLBlankLinesCountTowardLineNumbers(t *testing.T) {
 	}
 }
 
+func TestLineErrorReportsByteOffset(t *testing.T) {
+	// Every quarantined line carries the byte offset of its first byte,
+	// so tooling can seek to the damage — essential for oversized lines,
+	// where the line number alone can hide megabytes of data.
+	l1 := `{"text":"good one"}`
+	l2 := `{broken json`
+	l3 := `{"text":"` + strings.Repeat("q", 400) + `"}`
+	l4 := `{"text":"good two"}`
+	in := strings.Join([]string{l1, l2, l3, l4}, "\n")
+
+	docs, bad, err := ReadJSONLOpts(strings.NewReader(in), JSONLOptions{Lenient: true, MaxLineBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || len(bad) != 2 {
+		t.Fatalf("docs=%d bad=%+v, want 2 docs and 2 quarantined", len(docs), bad)
+	}
+	wantOffsets := []int64{
+		int64(len(l1) + 1),               // line 2 starts after l1 + "\n"
+		int64(len(l1) + 1 + len(l2) + 1), // line 3: the oversized one
+	}
+	for i, le := range bad {
+		if le.Offset != wantOffsets[i] {
+			t.Errorf("bad[%d].Offset = %d, want %d", i, le.Offset, wantOffsets[i])
+		}
+		if !strings.Contains(le.Error(), fmt.Sprintf("byte %d", wantOffsets[i])) {
+			t.Errorf("bad[%d] message lacks byte offset: %v", i, le)
+		}
+	}
+	if !errors.Is(bad[1], ErrLineTooLong) {
+		t.Fatalf("bad[1] = %v, want ErrLineTooLong", bad[1].Err)
+	}
+
+	// CRLF terminators count toward offsets (2 bytes per line break).
+	in = "{\"text\":\"a\"}\r\n{bad\r\n{\"text\":\"b\"}\r\n"
+	_, bad, err = ReadJSONLLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].Offset != 14 {
+		t.Fatalf("CRLF bad = %+v, want offset 14", bad)
+	}
+
+	// Strict mode reports the offset too, including for oversized lines
+	// that cross the internal read buffer.
+	huge := `{"text":"` + strings.Repeat("w", 200<<10) + `"}`
+	in = l1 + "\n" + huge
+	_, _, err = ReadJSONLOpts(strings.NewReader(in), JSONLOptions{MaxLineBytes: 64 << 10})
+	if err == nil || !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+	var le LineError
+	if !errors.As(err, &le) || le.Offset != int64(len(l1)+1) {
+		t.Fatalf("strict err = %v, want LineError with offset %d", err, len(l1)+1)
+	}
+}
+
 func TestReadJSONLErrors(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader(`not json`)); err == nil {
 		t.Error("malformed line should error")

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Bitmap is a roaring-style compressed bitmap over uint32 document
+// ordinals: values are partitioned by their high 16 bits into
+// containers, each either a sorted uint16 array (sparse) or a 64Ki-bit
+// bitmap (dense). Posting lists are Bitmaps, one per (token, segment).
+//
+// The zero value is an empty bitmap. Not safe for concurrent mutation;
+// read-side methods are safe once the bitmap is built.
+type Bitmap struct {
+	containers []container
+}
+
+// arrayMax is the cardinality above which an array container converts
+// to a bitmap container (the classic roaring threshold: 4096 uint16s =
+// 8 KiB, the size of a full bitmap container).
+const arrayMax = 4096
+
+const bitmapWords = 1 << 16 / 64
+
+type container struct {
+	key   uint16 // high 16 bits of the values held
+	array []uint16
+	bits  []uint64 // non-nil for a bitmap container
+	n     int      // cardinality (bitmap containers)
+}
+
+// find returns the index of the container for key, or the insertion
+// point with ok=false.
+func (b *Bitmap) find(key uint16) (int, bool) {
+	i := sort.Search(len(b.containers), func(i int) bool { return b.containers[i].key >= key })
+	return i, i < len(b.containers) && b.containers[i].key == key
+}
+
+// Add inserts v. Adds need not be ordered; duplicates are no-ops.
+func (b *Bitmap) Add(v uint32) {
+	key, low := uint16(v>>16), uint16(v)
+	i, ok := b.find(key)
+	if !ok {
+		b.containers = append(b.containers, container{})
+		copy(b.containers[i+1:], b.containers[i:])
+		b.containers[i] = container{key: key}
+	}
+	c := &b.containers[i]
+	if c.bits != nil {
+		w, m := low/64, uint64(1)<<(low%64)
+		if c.bits[w]&m == 0 {
+			c.bits[w] |= m
+			c.n++
+		}
+		return
+	}
+	j := sort.Search(len(c.array), func(j int) bool { return c.array[j] >= low })
+	if j < len(c.array) && c.array[j] == low {
+		return
+	}
+	c.array = append(c.array, 0)
+	copy(c.array[j+1:], c.array[j:])
+	c.array[j] = low
+	if len(c.array) > arrayMax {
+		words := make([]uint64, bitmapWords)
+		for _, lv := range c.array {
+			words[lv/64] |= uint64(1) << (lv % 64)
+		}
+		c.bits, c.n, c.array = words, len(c.array), nil
+	}
+}
+
+// Contains reports whether v is set.
+func (b *Bitmap) Contains(v uint32) bool {
+	key, low := uint16(v>>16), uint16(v)
+	i, ok := b.find(key)
+	if !ok {
+		return false
+	}
+	c := &b.containers[i]
+	if c.bits != nil {
+		return c.bits[low/64]&(uint64(1)<<(low%64)) != 0
+	}
+	j := sort.Search(len(c.array), func(j int) bool { return c.array[j] >= low })
+	return j < len(c.array) && c.array[j] == low
+}
+
+// Cardinality returns the number of set values.
+func (b *Bitmap) Cardinality() int {
+	n := 0
+	for i := range b.containers {
+		c := &b.containers[i]
+		if c.bits != nil {
+			n += c.n
+		} else {
+			n += len(c.array)
+		}
+	}
+	return n
+}
+
+// Iterate calls fn for every set value in ascending order, stopping if
+// fn returns false.
+func (b *Bitmap) Iterate(fn func(v uint32) bool) {
+	for i := range b.containers {
+		c := &b.containers[i]
+		hi := uint32(c.key) << 16
+		if c.bits == nil {
+			for _, low := range c.array {
+				if !fn(hi | uint32(low)) {
+					return
+				}
+			}
+			continue
+		}
+		for w, word := range c.bits {
+			for word != 0 {
+				t := bits.TrailingZeros64(word)
+				if !fn(hi | uint32(w*64+t)) {
+					return
+				}
+				word &^= 1 << t
+			}
+		}
+	}
+}
+
+// Bitmap serialization, embedded inside index files:
+//
+//	containerCount uint32
+//	per container: key uint16 | kind uint8 (0 array, 1 bitmap) |
+//	  array:  n uint16 | n × uint16 values
+//	  bitmap: 1024 × uint64 words
+//
+// The framing lives inside a CRC-protected index file, so decode
+// errors here indicate either a torn file or a logic bug; both surface
+// as errors, never panics or over-reads.
+
+const (
+	kindArray  = 0
+	kindBitmap = 1
+)
+
+// appendTo serializes the bitmap.
+func (b *Bitmap) appendTo(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.containers)))
+	for i := range b.containers {
+		c := &b.containers[i]
+		buf = binary.LittleEndian.AppendUint16(buf, c.key)
+		if c.bits != nil {
+			buf = append(buf, kindBitmap)
+			for _, w := range c.bits {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			continue
+		}
+		buf = append(buf, kindArray)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.array)))
+		for _, v := range c.array {
+			buf = binary.LittleEndian.AppendUint16(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeBitmap parses a serialized bitmap from b, returning the bitmap
+// and the bytes consumed. Container keys must be strictly increasing
+// and array values strictly increasing, so every valid serialization
+// round-trips to identical bytes.
+func decodeBitmap(b []byte) (*Bitmap, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("store: bitmap header truncated")
+	}
+	nc := int(binary.LittleEndian.Uint32(b))
+	pos := 4
+	bm := &Bitmap{}
+	if nc > len(b)/3 { // each container needs >= 3 header bytes
+		return nil, 0, fmt.Errorf("store: implausible container count %d", nc)
+	}
+	bm.containers = make([]container, 0, nc)
+	for i := 0; i < nc; i++ {
+		if len(b)-pos < 3 {
+			return nil, 0, fmt.Errorf("store: bitmap container %d truncated", i)
+		}
+		key := binary.LittleEndian.Uint16(b[pos:])
+		kind := b[pos+2]
+		pos += 3
+		if i > 0 && key <= bm.containers[i-1].key {
+			return nil, 0, fmt.Errorf("store: container keys out of order")
+		}
+		switch kind {
+		case kindArray:
+			if len(b)-pos < 2 {
+				return nil, 0, fmt.Errorf("store: array container %d truncated", i)
+			}
+			n := int(binary.LittleEndian.Uint16(b[pos:]))
+			pos += 2
+			if len(b)-pos < 2*n {
+				return nil, 0, fmt.Errorf("store: array container %d values truncated", i)
+			}
+			arr := make([]uint16, n)
+			for j := 0; j < n; j++ {
+				arr[j] = binary.LittleEndian.Uint16(b[pos+2*j:])
+				if j > 0 && arr[j] <= arr[j-1] {
+					return nil, 0, fmt.Errorf("store: array container values out of order")
+				}
+			}
+			pos += 2 * n
+			bm.containers = append(bm.containers, container{key: key, array: arr})
+		case kindBitmap:
+			if len(b)-pos < 8*bitmapWords {
+				return nil, 0, fmt.Errorf("store: bitmap container %d truncated", i)
+			}
+			words := make([]uint64, bitmapWords)
+			n := 0
+			for j := range words {
+				words[j] = binary.LittleEndian.Uint64(b[pos+8*j:])
+				n += bits.OnesCount64(words[j])
+			}
+			pos += 8 * bitmapWords
+			bm.containers = append(bm.containers, container{key: key, bits: words, n: n})
+		default:
+			return nil, 0, fmt.Errorf("store: unknown container kind %d", kind)
+		}
+	}
+	return bm, pos, nil
+}

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"harassrepro/internal/corpus"
+)
+
+// The inverted index: one sidecar .idx file per segment, built at
+// write time from the exact bytes being appended. It holds the
+// record-offset table (ordinal → byte offset in the .seg file, the
+// random-access path Doc uses) and a sorted token table mapping each
+// token to a roaring-style posting bitmap over record ordinals.
+//
+//	header (16 bytes): magic "HRCSIDX1" | version uint32 | docCount uint32
+//	offsets:           docCount × uint64 (record header offsets)
+//	tokenCount uint32
+//	per token, sorted:  uvarint len | bytes | bitmap (bitmap.go framing)
+//	footer:            crc32c(everything above) uint32
+//
+// The trailing whole-file checksum makes a torn index from a crashed
+// append detectable with one read; Open quarantines the segment pair
+// rather than trusting a half-written token table.
+
+// indexTokens produces the index terms for one document: the text's
+// word tokens plus dataset/platform/domain field terms (the latter make
+// Lookup usable as a cheap metadata filter without a scan).
+func indexTokens(d *corpus.Document, emit func(string)) {
+	tokenizeText(d.Text, emit)
+	emit("dataset:" + string(d.Dataset))
+	emit("platform:" + string(d.Platform))
+	if d.Domain != "" {
+		emit("domain:" + d.Domain)
+	}
+}
+
+// tokenizeText splits text into lowercase tokens: ASCII letters/digits
+// fold and join, any non-ASCII byte joins as-is (UTF-8 sequences stay
+// whole), everything else separates. Deterministic and allocation-light;
+// this is the index's notion of a word, shared by writer and Lookup.
+func tokenizeText(text string, emit func(string)) {
+	start := -1
+	var buf []byte
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		buf = appendFoldedToken(buf[:0], text[start:end])
+		emit(string(buf))
+		start = -1
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		isTok := c >= 0x80 || c == '_' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if isTok && start < 0 {
+			start = i
+		} else if !isTok {
+			flush(i)
+		}
+	}
+	flush(len(text))
+}
+
+// appendFoldedToken lower-cases ASCII letters into buf.
+func appendFoldedToken(buf []byte, tok string) []byte {
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+// NormalizeToken canonicalizes a query term the way the index writer
+// canonicalized document tokens (ASCII lower-casing).
+func NormalizeToken(tok string) string {
+	return string(appendFoldedToken(nil, tok))
+}
+
+// segIndex is one segment's loaded index.
+type segIndex struct {
+	offsets []uint64 // record ordinal → byte offset of record header
+	tokens  []string // sorted
+	posting []*Bitmap
+}
+
+// lookup returns the posting bitmap for a (normalized) token.
+func (ix *segIndex) lookup(tok string) *Bitmap {
+	i := sort.SearchStrings(ix.tokens, tok)
+	if i < len(ix.tokens) && ix.tokens[i] == tok {
+		return ix.posting[i]
+	}
+	return nil
+}
+
+// indexBuilder accumulates postings while a segment is written.
+type indexBuilder struct {
+	offsets []uint64
+	posting map[string]*Bitmap
+	scratch map[string]bool
+}
+
+func newIndexBuilder() *indexBuilder {
+	return &indexBuilder{posting: map[string]*Bitmap{}, scratch: map[string]bool{}}
+}
+
+// add indexes one document at the given record offset.
+func (ib *indexBuilder) add(d *corpus.Document, offset uint64) {
+	ordinal := uint32(len(ib.offsets))
+	ib.offsets = append(ib.offsets, offset)
+	// Dedupe per document so each token is added once per ordinal.
+	for t := range ib.scratch {
+		delete(ib.scratch, t)
+	}
+	indexTokens(d, func(tok string) { ib.scratch[tok] = true })
+	for tok := range ib.scratch {
+		bm := ib.posting[tok]
+		if bm == nil {
+			bm = &Bitmap{}
+			ib.posting[tok] = bm
+		}
+		bm.Add(ordinal)
+	}
+}
+
+// encode renders the complete .idx file contents.
+func (ib *indexBuilder) encode() []byte {
+	buf := make([]byte, 0, 16+8*len(ib.offsets))
+	buf = append(buf, idxMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ib.offsets)))
+	for _, off := range ib.offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, off)
+	}
+	tokens := make([]string, 0, len(ib.posting))
+	for tok := range ib.posting {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tokens)))
+	for _, tok := range tokens {
+		buf = binary.AppendUvarint(buf, uint64(len(tok)))
+		buf = append(buf, tok...)
+		buf = ib.posting[tok].appendTo(buf)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeIndex parses and verifies a complete .idx file.
+func decodeIndex(b []byte) (*segIndex, error) {
+	if len(b) < 16+4 {
+		return nil, fmt.Errorf("store: index file truncated (%d bytes)", len(b))
+	}
+	body, foot := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != foot {
+		return nil, fmt.Errorf("store: index checksum mismatch")
+	}
+	if string(body[:8]) != idxMagic {
+		return nil, fmt.Errorf("store: bad index magic")
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != version {
+		return nil, fmt.Errorf("store: index version %d, want %d", v, version)
+	}
+	docs := int(binary.LittleEndian.Uint32(body[12:]))
+	pos := 16
+	if len(body)-pos < 8*docs {
+		return nil, fmt.Errorf("store: index offset table truncated")
+	}
+	ix := &segIndex{offsets: make([]uint64, docs)}
+	for i := range ix.offsets {
+		ix.offsets[i] = binary.LittleEndian.Uint64(body[pos+8*i:])
+	}
+	pos += 8 * docs
+	if len(body)-pos < 4 {
+		return nil, fmt.Errorf("store: index token count truncated")
+	}
+	nTok := int(binary.LittleEndian.Uint32(body[pos:]))
+	pos += 4
+	ix.tokens = make([]string, 0, min(nTok, len(body)-pos))
+	ix.posting = make([]*Bitmap, 0, cap(ix.tokens))
+	for i := 0; i < nTok; i++ {
+		n, sz := binary.Uvarint(body[pos:])
+		if sz <= 0 || n > uint64(len(body)-pos-sz) {
+			return nil, fmt.Errorf("store: index token %d truncated", i)
+		}
+		pos += sz
+		tok := string(body[pos : pos+int(n)])
+		pos += int(n)
+		if i > 0 && tok <= ix.tokens[i-1] {
+			return nil, fmt.Errorf("store: index tokens out of order")
+		}
+		bm, consumed, err := decodeBitmap(body[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("store: index token %q: %w", tok, err)
+		}
+		pos += consumed
+		ix.tokens = append(ix.tokens, tok)
+		ix.posting = append(ix.posting, bm)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("store: %d trailing index bytes", len(body)-pos)
+	}
+	return ix, nil
+}

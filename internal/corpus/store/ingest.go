@@ -1,0 +1,28 @@
+package store
+
+import (
+	"io"
+
+	"harassrepro/internal/corpus"
+)
+
+// IngestJSONL appends external JSONL documents to the store, reading
+// leniently: malformed and oversized lines are quarantined as
+// corpus.LineErrors — each carrying the line number and byte offset of
+// the damage — while every well-formed document is committed. added is
+// the number of documents appended; err is non-nil only for input I/O
+// or store write failures (in which case nothing from this call was
+// committed beyond the segments already appended).
+func IngestJSONL(s *Store, r io.Reader, perSeg int) (added int, bad []corpus.LineError, err error) {
+	docs, bad, err := corpus.ReadJSONLLenient(r)
+	if err != nil {
+		return 0, bad, err
+	}
+	if len(docs) == 0 {
+		return 0, bad, nil
+	}
+	if err := s.AppendAll(docs, perSeg); err != nil {
+		return 0, bad, err
+	}
+	return len(docs), bad, nil
+}

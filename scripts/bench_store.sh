@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Corpus-store benchmark harness: builds a quick-scale store in a temp
+# directory, measures sequential scan throughput (MB/s), inverted-index
+# lookup latency, incremental append throughput, and the store-streamed
+# vs in-memory ScoreStream comparison, and writes BENCH_store.json.
+#
+# The score-stream pair requires a one-time quick-scale training run
+# (tens of seconds); pass -store-only to skip it and measure just the
+# raw store entries. -gate-stream (used by scripts/check.sh) fails the
+# run if store-streamed scoring drops below 0.9x in-memory throughput.
+#
+# Usage: scripts/bench_store.sh [-out FILE] [-store-only] [-gate-stream]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchstore "$@"

@@ -22,11 +22,12 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 # The concurrent runtime (worker pool, chaos harness, streaming
-# scoring), the metrics core shared across its workers, and the HTTP
-# serving layer coalescing requests onto that runtime must be
-# race-clean, not just correct.
-echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/..."
-go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/...
+# scoring), the metrics core shared across its workers, the HTTP
+# serving layer coalescing requests onto that runtime, and the corpus
+# store (concurrent segment reads under Scan/Lookup, crash-recovery
+# reopen) must be race-clean, not just correct.
+echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/..."
+go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/...
 
 # Allocation-regression gates: the scoring hot path (tokenize,
 # featurize, PII clean path, pooled detector scoring) and the obs
@@ -43,6 +44,15 @@ if [[ $fast -eq 0 ]]; then
   # automaton soundness bugs before they need a long campaign.
   echo "== pii differential fuzz smoke (-fuzztime=10s)"
   go test -run '^$' -fuzz '^FuzzExtractPrefilterEquivalence$' -fuzztime 10s ./internal/pii/
+
+  # Corpus-store differential fuzz smokes: the segment record decoder
+  # must reject every non-canonical framing and round-trip every
+  # accepted payload byte-identically, and the posting bitmaps must
+  # agree with a naive in-memory oracle. One -fuzz target per
+  # invocation (go test rejects multi-target fuzz runs).
+  echo "== store fuzz smokes (-fuzztime=10s each)"
+  go test -run '^$' -fuzz '^FuzzSegmentDecode$' -fuzztime 10s ./internal/corpus/store/
+  go test -run '^$' -fuzz '^FuzzPostingIterator$' -fuzztime 10s ./internal/corpus/store/
 
   # PII perf gate: pii/dense-dox must hold at least 3x over the
   # regex-cascade figure it replaced (58581.56 ns/op) and stay
@@ -79,6 +89,13 @@ if [[ $fast -eq 0 ]]; then
   # cleanly on SIGTERM.
   echo "== chaos-serve certification"
   scripts/chaos_serve.sh
+
+  # Corpus-store benchmark + streaming-overhead gate: scan/lookup/append
+  # throughput lands in BENCH_store.json, and ScoreStream fed from a
+  # store Scan must retain >= 0.9x the throughput of the same documents
+  # already in memory (the store may cost at most 10% on the hot path).
+  echo "== store benchmark + stream gate (BENCH_store.json)"
+  scripts/bench_store.sh -gate-stream
 fi
 
 echo "OK"
