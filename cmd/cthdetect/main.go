@@ -23,12 +23,14 @@
 // With -store, documents are streamed from a segmented corpus store
 // (built by corpusgen -store) instead of stdin — one segment at a time,
 // so memory stays bounded; -token restricts the stream to the store's
-// inverted-index matches for a single token.
+// inverted-index matches. Comma-separated terms intersect (AND): a
+// document must match every one, e.g. -token "mass,report" or
+// -token "dataset:boards,raid".
 //
 // Usage:
 //
 //	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N] [-metrics] [-metrics-addr :9090] [-max-doc-bytes N]
-//	cthdetect -store DIR [-token mass] [-rules-only] ...
+//	cthdetect -store DIR [-token mass,report] [-rules-only] ...
 package main
 
 import (
@@ -96,7 +98,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		maxDocBytes = flag.Int("max-doc-bytes", 0, "dead-letter lines longer than this many bytes (0 = no limit)")
 		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin")
-		storeToken  = flag.String("token", "", "with -store: score only documents whose inverted index matches this token")
+		storeToken  = flag.String("token", "", "with -store: score only documents whose inverted index matches every comma-separated token (AND)")
 	)
 	flag.Parse()
 	if *storeToken != "" && *storeDir == "" {
@@ -279,10 +281,23 @@ func main() {
 	exit(0)
 }
 
+// splitTokens parses a -token value: comma-separated terms, blanks
+// dropped. Multiple terms mean AND — a document must match every one.
+func splitTokens(spec string) []string {
+	var tokens []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tokens = append(tokens, t)
+		}
+	}
+	return tokens
+}
+
 // feedFromStore streams document texts out of a segmented corpus store
-// — the whole store in commit order, or just the inverted-index
-// matches for token. Documents are decoded one segment at a time, so
-// memory stays bounded regardless of store size.
+// — the whole store in commit order, or just the documents whose
+// inverted index matches every comma-separated term in token (posting
+// bitmaps intersected per segment). Documents are decoded one segment
+// at a time, so memory stays bounded regardless of store size.
 func feedFromStore(dir, token string, in chan<- row) error {
 	s, err := store.Open(dir)
 	if err != nil {
@@ -299,8 +314,8 @@ func feedFromStore(dir, token string, in chan<- row) error {
 		}
 		return nil
 	}
-	if token != "" {
-		return s.LookupDocs(token, emit)
+	if tokens := splitTokens(token); len(tokens) > 0 {
+		return s.LookupAllDocs(tokens, emit)
 	}
 	return s.Scan(emit)
 }

@@ -20,6 +20,31 @@ import (
 
 var summaryRe = regexp.MustCompile(`processed=(\d+) succeeded=(\d+) degraded=(\d+) quarantined=(\d+)`)
 
+func TestSplitTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"mass", []string{"mass"}},
+		{"mass,report", []string{"mass", "report"}},
+		{" mass , report ,", []string{"mass", "report"}},
+		{",,", nil},
+		{"dataset:boards, raid", []string{"dataset:boards", "raid"}},
+	}
+	for _, c := range cases {
+		got := splitTokens(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
 func TestMetricsSnapshotReconcilesWithSummary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and execs the binary")

@@ -8,7 +8,12 @@
 //	POST /v1/score        score one document: {"id","platform","text"}
 //	POST /v1/score/batch  JSONL (lenient; bad lines quarantined and
 //	                      reported per line) or a JSON array
-//	GET  /healthz         process liveness
+//	POST /v1/feedback     operator-labelled documents feeding the
+//	                      retrain loop (with -registry)
+//	GET  /v1/admin/*      model lifecycle control: GET models, POST
+//	                      retrain/promote/rollback/swap/shadow (with
+//	                      -registry)
+//	GET  /healthz         process liveness + active model generation
 //	GET  /readyz          admission readiness (503 while draining)
 //	GET  /metrics         Prometheus text format (same mux)
 //	GET  /metrics.json    JSON metrics snapshot
@@ -35,9 +40,19 @@
 // `harassrepro -save-models`; otherwise they are trained at startup by
 // running the pipeline at -scale.
 //
+// With -registry the detector becomes a versioned, hot-swappable
+// artifact: the directory holds committed model generations
+// (gen-XXXXXXXX dirs under a fsync'd MANIFEST), the active generation
+// is served on boot (training only when the registry is empty), and
+// the feedback/retrain/shadow/promote lifecycle is exposed on
+// /v1/feedback and /v1/admin. -auto-retrain retrains in the background
+// once enough feedback buffers; -shadow-rate sets the live-traffic
+// fraction a committed candidate shadow-scores before promotion.
+//
 // Usage:
 //
 //	harassd [-addr :8712] [-models DIR] [-scale quick|default] [-seed N]
+//	        [-registry DIR] [-shadow-rate F] [-auto-retrain]
 //	        [-shards N] [-workers N] [-max-inflight N] [-queue-depth N]
 //	        [-max-batch-docs N] [-request-timeout D] [-drain-timeout D]
 //	        [-chaos PLAN] [-no-annotate] [-metrics]
@@ -53,7 +68,9 @@ import (
 	"time"
 
 	"harassrepro/internal/core"
+	"harassrepro/internal/lifecycle"
 	"harassrepro/internal/obs"
+	"harassrepro/internal/registry"
 	"harassrepro/internal/resilience/chaos"
 	"harassrepro/internal/serve"
 )
@@ -69,6 +86,9 @@ func main() {
 		addr           = flag.String("addr", ":8712", "listen address (\":0\" picks a free port)")
 		models         = flag.String("models", "", "load pretrained classifiers from this directory (see harassrepro -save-models) instead of training")
 		scale          = flag.String("scale", "quick", "training corpus scale when -models is unset: quick or default")
+		registryDir    = flag.String("registry", "", "versioned model registry directory: serve the active generation and enable /v1/feedback + /v1/admin")
+		shadowRate     = flag.Float64("shadow-rate", 0.25, "live-traffic fraction a retrained candidate shadow-scores (with -registry)")
+		autoRetrain    = flag.Bool("auto-retrain", false, "retrain in the background once enough feedback buffers (with -registry)")
 		seed           = flag.Uint64("seed", 1, "training and span-sampling seed")
 		shards         = flag.Int("shards", 0, "independent supervised scoring shards (0 = min(GOMAXPROCS, 8))")
 		workers        = flag.Int("workers", 0, "scoring worker pool size, divided across shards (0 = GOMAXPROCS)")
@@ -95,15 +115,18 @@ func main() {
 
 	reg := obs.NewRegistry()
 
-	var det *core.Detector
-	if *models != "" {
-		d, err := core.LoadDetector(*models)
-		if err != nil {
-			fail("%v", err)
+	// buildDetector loads (-models) or trains (-scale) the classifiers;
+	// with -registry it only runs when the registry has no committed
+	// generation yet.
+	buildDetector := func() (*core.Detector, error) {
+		if *models != "" {
+			d, err := core.LoadDetector(*models)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "harassd: loaded classifiers from %s\n", *models)
+			return d, nil
 		}
-		det = d
-		fmt.Fprintf(os.Stderr, "harassd: loaded classifiers from %s\n", *models)
-	} else {
 		var cfg core.Config
 		switch *scale {
 		case "quick":
@@ -111,20 +134,55 @@ func main() {
 		case "default":
 			cfg = core.DefaultConfig(*seed)
 		default:
-			fail("unknown scale %q (want quick or default)", *scale)
+			return nil, fmt.Errorf("unknown scale %q (want quick or default)", *scale)
 		}
 		fmt.Fprintf(os.Stderr, "harassd: training filtering classifiers (seed %d, scale %s)...\n", *seed, *scale)
 		t0 := time.Now()
 		p, err := core.RunWithOptions(cfg, core.Options{Workers: *workers})
 		if err != nil {
-			fail("training: %v", err)
+			return nil, fmt.Errorf("training: %w", err)
 		}
-		det = p.Detector()
 		fmt.Fprintf(os.Stderr, "harassd: classifiers ready in %v\n", time.Since(t0).Round(time.Millisecond))
+		return p.Detector(), nil
+	}
+
+	var mdl *serve.Model
+	var mgr *lifecycle.Manager
+	if *registryDir != "" {
+		mreg, err := registry.OpenOrCreate(*registryDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		if rec := mreg.Recovery(); len(rec.Quarantined) > 0 || len(rec.Orphans) > 0 {
+			fmt.Fprintf(os.Stderr, "harassd: registry recovery: quarantined generations %v, swept orphans %v\n",
+				rec.Quarantined, rec.Orphans)
+		}
+		mdl, _, err = lifecycle.BootModel(mreg, *seed, buildDetector)
+		if err != nil {
+			fail("%v", err)
+		}
+		mgr, err = lifecycle.New(lifecycle.Config{
+			Registry:    mreg,
+			Seed:        *seed,
+			AutoRetrain: *autoRetrain,
+			ShadowRate:  *shadowRate,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "harassd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		det, err := buildDetector()
+		if err != nil {
+			fail("%v", err)
+		}
+		mdl = &serve.Model{Backend: det, Generation: 1, Seed: *seed, Thresholds: det}
 	}
 
 	cfg := serve.Config{
-		Backend:        det,
+		Model:          mdl,
 		Shards:         *shards,
 		Workers:        *workers,
 		Seed:           *seed,
@@ -140,10 +198,18 @@ func main() {
 	if faults != nil {
 		cfg.Faults = faults
 	}
+	if mgr != nil {
+		cfg.Feedback = mgr
+		cfg.Admin = mgr
+	}
 	srv := serve.New(cfg)
+	if mgr != nil {
+		mgr.Bind(srv)
+	}
 	if err := srv.Start(*addr); err != nil {
 		fail("%v", err)
 	}
+	fmt.Fprintf(os.Stderr, "harassd: serving model generation %d (seed %d)\n", mdl.Generation, mdl.Seed)
 	fmt.Fprintf(os.Stderr, "harassd: listening on http://%s\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -14,10 +14,25 @@
 // self-healing layer re-homed or failed and how many shard generations
 // restarted during the run.
 //
+// Every single-document 200 carries the X-Model-Generation header;
+// loadgen tracks the generations it was served by and counts
+// transitions (a hot-swap under load shows up as one transition per
+// client that straddled it), logging each transition to stderr and
+// listing the generation set in the summary. With -feedback-every N
+// each client also POSTs a labelled feedback batch to /v1/feedback
+// every N requests — the live-annotation traffic that feeds the
+// retrain loop.
+//
+// -requests N bounds the whole run to a fixed request budget shared
+// across clients (whichever of the budget and -duration is hit first
+// ends the run) so certification scripts can assert exact accounting
+// over a known request count.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8712 [-clients 64] [-duration 10s]
-//	        [-batch-every 0] [-batch-docs 16] [-max-backoff 5s]
+//	        [-requests 0] [-batch-every 0] [-batch-docs 16]
+//	        [-feedback-every 0] [-feedback-docs 8] [-max-backoff 5s]
 //	        [-fail-on-errors] [-out FILE]
 package main
 
@@ -33,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,6 +77,16 @@ type result struct {
 	latency time.Duration
 }
 
+// harassingText reports whether sampleTexts[i] is one of the
+// incitement/doxing rotations (the labels feedback batches carry).
+func harassingText(i int) bool {
+	switch i % len(sampleTexts) {
+	case 2, 5, 8:
+		return false
+	}
+	return true
+}
+
 // report is the JSON document loadgen emits.
 type report struct {
 	Addr          string  `json:"addr"`
@@ -76,6 +102,12 @@ type report struct {
 	P50Ms         float64 `json:"latency_p50_ms"`
 	P95Ms         float64 `json:"latency_p95_ms"`
 	P99Ms         float64 `json:"latency_p99_ms"`
+	// Model lifecycle: the generations that served this run's single
+	// 200s (X-Model-Generation) and how many times a client observed
+	// the generation change mid-run — a hot-swap under load.
+	FeedbackAccepted      int      `json:"feedback_accepted"`
+	ModelGenerations      []uint64 `json:"model_generations,omitempty"`
+	GenerationTransitions int      `json:"generation_transitions"`
 	// Self-healing counters scraped from the server's /metrics.json
 	// after the run (zero when the server exposes no metrics).
 	Redispatched     int `json:"redispatched_docs"`
@@ -88,8 +120,11 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8712", "harassd address (host:port)")
 		clients      = flag.Int("clients", 64, "concurrent clients")
 		duration     = flag.Duration("duration", 10*time.Second, "load duration")
+		requests     = flag.Int("requests", 0, "total request budget across all clients (0 = -duration bound only)")
 		batchEvery   = flag.Int("batch-every", 0, "send a batch request every N requests per client (0 = singles only)")
 		batchDocs    = flag.Int("batch-docs", 16, "documents per batch request")
+		fbEvery      = flag.Int("feedback-every", 0, "POST a labelled feedback batch every N requests per client (0 = none)")
+		fbDocs       = flag.Int("feedback-docs", 8, "labelled documents per feedback batch")
 		maxBackoff   = flag.Duration("max-backoff", 5*time.Second, "cap on the Retry-After backoff honoured after 429/503")
 		failOnErrors = flag.Bool("fail-on-errors", false, "exit non-zero if any request errored (shed 429/503 are not errors)")
 		out          = flag.String("out", "", "write the JSON report to this file as well as stdout")
@@ -100,11 +135,14 @@ func main() {
 	httpc := &http.Client{Timeout: 1 * time.Minute}
 
 	var (
-		mu       sync.Mutex
-		results  []result
-		backoffs int
+		mu          sync.Mutex
+		results     []result
+		backoffs    int
+		transitions int
+		gens        = make(map[uint64]bool)
 	)
 	deadline := time.Now().Add(*duration)
+	var issued atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -112,13 +150,26 @@ func main() {
 			defer wg.Done()
 			local := make([]result, 0, 1024)
 			waits := 0
+			myTransitions := 0
+			myGens := make(map[uint64]bool)
+			lastGen := uint64(0)
 			for n := 0; time.Now().Before(deadline); n++ {
+				if *requests > 0 && issued.Add(1) > int64(*requests) {
+					break
+				}
 				var body []byte
 				url := base + "/v1/score"
-				if *batchEvery > 0 && n%*batchEvery == *batchEvery-1 {
+				single := true
+				switch {
+				case *fbEvery > 0 && n%*fbEvery == *fbEvery-1:
+					url = base + "/v1/feedback"
+					body = feedbackBody(client, n, *fbDocs)
+					single = false
+				case *batchEvery > 0 && n%*batchEvery == *batchEvery-1:
 					url = base + "/v1/score/batch"
 					body = batchBody(client, n, *batchDocs)
-				} else {
+					single = false
+				default:
 					body = singleBody(client, n)
 				}
 				t0 := time.Now()
@@ -129,6 +180,16 @@ func main() {
 					continue
 				}
 				retryAfter := resp.Header.Get("Retry-After")
+				if single && resp.StatusCode == http.StatusOK {
+					if g, perr := strconv.ParseUint(resp.Header.Get("X-Model-Generation"), 10, 64); perr == nil && g > 0 {
+						myGens[g] = true
+						if lastGen != 0 && g != lastGen {
+							myTransitions++
+							fmt.Fprintf(os.Stderr, "loadgen: client %d: model generation %d -> %d\n", client, lastGen, g)
+						}
+						lastGen = g
+					}
+				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				local = append(local, result{code: resp.StatusCode, latency: lat})
@@ -149,6 +210,10 @@ func main() {
 			mu.Lock()
 			results = append(results, local...)
 			backoffs += waits
+			transitions += myTransitions
+			for g := range myGens {
+				gens[g] = true
+			}
 			mu.Unlock()
 		}(c)
 	}
@@ -158,6 +223,15 @@ func main() {
 
 	rep := summarize(results, *addr, *clients, elapsed)
 	rep.BackoffWaits = backoffs
+	rep.GenerationTransitions = transitions
+	for g := range gens {
+		rep.ModelGenerations = append(rep.ModelGenerations, g)
+	}
+	sort.Slice(rep.ModelGenerations, func(i, j int) bool { return rep.ModelGenerations[i] < rep.ModelGenerations[j] })
+	if len(rep.ModelGenerations) > 1 {
+		fmt.Fprintf(os.Stderr, "loadgen: served by model generations %v (%d transitions observed)\n",
+			rep.ModelGenerations, transitions)
+	}
 	scrapeHealing(httpc, base, &rep)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -255,6 +329,32 @@ func batchBody(client, n, docs int) []byte {
 	return buf.Bytes()
 }
 
+// feedbackBody builds one /v1/feedback batch: the sample rotation with
+// its ground-truth labels, the live-annotation stream a deployment
+// would feed back from its moderators.
+func feedbackBody(client, n, docs int) []byte {
+	type item struct {
+		ID       string `json:"id"`
+		Platform string `json:"platform"`
+		Text     string `json:"text"`
+		Task     string `json:"task"`
+		Label    bool   `json:"label"`
+	}
+	items := make([]item, 0, docs)
+	for i := 0; i < docs; i++ {
+		k := client*13 + n*docs + i
+		items = append(items, item{
+			ID:       fmt.Sprintf("fb-%d-%d-%d", client, n, i),
+			Platform: samplePlatforms[k%len(samplePlatforms)],
+			Text:     fmt.Sprintf("%s (report %d)", sampleTexts[k%len(sampleTexts)], k),
+			Task:     "cth",
+			Label:    harassingText(k),
+		})
+	}
+	b, _ := json.Marshal(items)
+	return b
+}
+
 func summarize(results []result, addr string, clients int, elapsed time.Duration) report {
 	rep := report{
 		Addr:        addr,
@@ -270,6 +370,9 @@ func summarize(results []result, addr string, clients int, elapsed time.Duration
 		case r.code == http.StatusOK:
 			rep.OK++
 			lats = append(lats, r.latency)
+		case r.code == http.StatusAccepted:
+			// Feedback batches: accepted live annotations, not scores.
+			rep.FeedbackAccepted++
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed429++
 		case r.code == http.StatusServiceUnavailable:

@@ -16,14 +16,15 @@
 //
 // With -store, documents are streamed from a segmented corpus store
 // (built by corpusgen -store) instead of stdin, one segment at a time;
-// -token restricts the stream to the store's inverted-index matches.
-// -store implies -stream.
+// -token restricts the stream to the store's inverted-index matches;
+// comma-separated terms intersect (AND), so -token "paste,email" only
+// scans documents matching both. -store implies -stream.
 //
 // Usage:
 //
 //	piiscan [-json] [-metrics] < document.txt
 //	piiscan -stream [-json] [-workers N] [-metrics] [-metrics-addr :9090] < documents.txt
-//	piiscan -store DIR [-token paste] [-json] [-workers N]
+//	piiscan -store DIR [-token paste,email] [-json] [-workers N]
 package main
 
 import (
@@ -82,7 +83,7 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin (implies -stream)")
-		storeToken  = flag.String("token", "", "with -store: scan only documents whose inverted index matches this token")
+		storeToken  = flag.String("token", "", "with -store: scan only documents whose inverted index matches every comma-separated token (AND)")
 	)
 	flag.Parse()
 	if *storeToken != "" && *storeDir == "" {
@@ -271,9 +272,23 @@ func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToke
 	}
 }
 
+// splitTokens parses a -token value: comma-separated terms, blanks
+// dropped. Multiple terms mean AND — a document must match every one.
+func splitTokens(spec string) []string {
+	var tokens []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tokens = append(tokens, t)
+		}
+	}
+	return tokens
+}
+
 // feedFromStore streams document texts out of a segmented corpus
-// store, whole or restricted to one inverted-index token, decoding one
-// segment at a time so memory stays bounded.
+// store, whole or restricted to the documents whose inverted index
+// matches every comma-separated term in token (posting bitmaps
+// intersected per segment), decoding one segment at a time so memory
+// stays bounded.
 func feedFromStore(dir, token string, in chan<- scan) error {
 	s, err := store.Open(dir)
 	if err != nil {
@@ -290,8 +305,8 @@ func feedFromStore(dir, token string, in chan<- scan) error {
 		}
 		return nil
 	}
-	if token != "" {
-		return s.LookupDocs(token, emit)
+	if tokens := splitTokens(token); len(tokens) > 0 {
+		return s.LookupAllDocs(tokens, emit)
 	}
 	return s.Scan(emit)
 }

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestSplitTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"paste", []string{"paste"}},
+		{"paste,email", []string{"paste", "email"}},
+		{" paste , email ,", []string{"paste", "email"}},
+		{",,", nil},
+		{"platform:gab, dox", []string{"platform:gab", "dox"}},
+	}
+	for _, c := range cases {
+		got := splitTokens(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

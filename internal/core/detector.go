@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"harassrepro/internal/annotate"
@@ -147,11 +148,42 @@ type Detector struct {
 	scorers sync.Pool
 }
 
+// ModelFiles lists the files a complete SaveModels directory holds.
+func ModelFiles() []string {
+	return []string{vocabFile, doxFile, cthFile, metaFile}
+}
+
+// ValidateModelDir checks up front that dir holds every model artifact
+// a detector needs, reporting all absent files in one error rather
+// than failing late on the first open. A missing directory is its own
+// error; an unreadable-but-present file is left for LoadDetector's
+// per-artifact diagnostics.
+func ValidateModelDir(dir string) error {
+	if fi, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("core: model dir %s: %w", dir, err)
+	} else if !fi.IsDir() {
+		return fmt.Errorf("core: model dir %s: not a directory", dir)
+	}
+	var missing []string
+	for _, name := range ModelFiles() {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("core: model dir %s: missing %s", dir, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
 // LoadDetector reads a directory written by SaveModels. A corrupt,
 // truncated or partially-written model directory always yields a
 // descriptive error naming the offending artifact, never a panic or a
 // silently broken detector.
 func LoadDetector(dir string) (*Detector, error) {
+	if err := ValidateModelDir(dir); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, fmt.Errorf("core: load detector: %w", err)
@@ -255,6 +287,118 @@ func (d *Detector) ExplainCTH(text string, topK int) []model.TokenWeight {
 // n-grams.
 func (d *Detector) ExplainDox(text string, topK int) []model.TokenWeight {
 	return model.Explain(d.dox, d.hasher, d.tok.Tokenize(text), topK)
+}
+
+// Save writes the detector back into dir in SaveModels layout, so a
+// retrained detector built in memory (Retrained) can be committed to a
+// registry generation without a full pipeline behind it.
+func (d *Detector) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save detector: %w", err)
+	}
+	if err := d.tok.Vocab().SaveFile(filepath.Join(dir, vocabFile)); err != nil {
+		return err
+	}
+	if err := d.dox.SaveFile(filepath.Join(dir, doxFile)); err != nil {
+		return err
+	}
+	if err := d.cth.SaveFile(filepath.Join(dir, cthFile)); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(d.meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: save detector: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), data, 0o644); err != nil {
+		return fmt.Errorf("core: save detector: %w", err)
+	}
+	return nil
+}
+
+// Retrained returns a new detector that replaces one task's classifier
+// (and optionally its per-platform thresholds) while sharing the
+// vocabulary and feature space with the receiver. The new model must
+// live in the same hashed feature space; thresholds outside (0, 1] are
+// rejected. The receiver is not modified.
+func (d *Detector) Retrained(task annotate.Task, m *model.LogReg, thresholds map[string]float64) (*Detector, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: retrained: nil model")
+	}
+	if m.Buckets() != d.meta.Buckets {
+		return nil, fmt.Errorf("core: retrained: model buckets %d do not match detector feature space %d", m.Buckets(), d.meta.Buckets)
+	}
+	meta := d.meta
+	meta.DoxThresholds = copyThresholds(d.meta.DoxThresholds)
+	meta.CTHThresholds = copyThresholds(d.meta.CTHThresholds)
+	nd := &Detector{
+		tok:    d.tok,
+		hasher: d.hasher,
+		dox:    d.dox,
+		cth:    d.cth,
+		meta:   meta,
+		rng:    randx.New(1).Split("detector"),
+	}
+	target := nd.meta.DoxThresholds
+	if task == annotate.TaskCTH {
+		nd.cth = m
+		target = nd.meta.CTHThresholds
+	} else {
+		nd.dox = m
+	}
+	for plat, th := range thresholds {
+		if th <= 0 || th > 1 {
+			return nil, fmt.Errorf("core: retrained: threshold for %q out of range: %v", plat, th)
+		}
+		target[plat] = th
+	}
+	nd.initScorerPool()
+	return nd, nil
+}
+
+func copyThresholds(in map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// VectorizeTask converts text into the model input vector for a task's
+// span length on pooled scratch, returning an owned vector that
+// outlives the scratch — the surface the retrain pipeline uses to
+// build training examples in the deployed detector's feature space.
+func (d *Detector) VectorizeTask(task annotate.Task, text string, rng *randx.Source) features.Vector {
+	maxLen := d.meta.DoxTextLen
+	if task == annotate.TaskCTH {
+		maxLen = d.meta.CTHTextLen
+	}
+	sc := d.scorers.Get().(*scorer)
+	v := d.vectorizeWith(sc, text, maxLen, rng)
+	out := features.Vector{
+		Indices: append([]uint32(nil), v.Indices...),
+		Values:  append([]float64(nil), v.Values...),
+	}
+	d.scorers.Put(sc)
+	return out
+}
+
+// Buckets reports the hashed feature-space size the classifiers share.
+func (d *Detector) Buckets() uint32 { return d.meta.Buckets }
+
+// TaskThresholds returns a copy of a task's per-platform thresholds.
+func (d *Detector) TaskThresholds(task annotate.Task) map[string]float64 {
+	if task == annotate.TaskCTH {
+		return copyThresholds(d.meta.CTHThresholds)
+	}
+	return copyThresholds(d.meta.DoxThresholds)
+}
+
+// TaskModel returns the task's classifier (shared, read-only).
+func (d *Detector) TaskModel(task annotate.Task) *model.LogReg {
+	if task == annotate.TaskCTH {
+		return d.cth
+	}
+	return d.dox
 }
 
 // Platforms lists the platforms with saved thresholds.

@@ -68,20 +68,22 @@ func TestLoadDetectorGarbageDirectories(t *testing.T) {
 			metaFile: []byte(validMeta), vocabFile: {}, doxFile: garbage, cthFile: garbage,
 		},
 		"truncated meta": {
-			metaFile: []byte(validMeta[:len(validMeta)/2]),
+			metaFile: []byte(validMeta[:len(validMeta)/2]), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
 		},
 		"meta zero buckets": {
-			metaFile: []byte(`{"version":1,"buckets":0,"dox_text_len":512,"cth_text_len":128}`),
+			metaFile: []byte(`{"version":1,"buckets":0,"dox_text_len":512,"cth_text_len":128}`), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
 		},
 		"meta negative span length": {
-			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":-5,"cth_text_len":128}`),
+			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":-5,"cth_text_len":128}`), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
 		},
 		"meta threshold out of range": {
-			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":512,"cth_text_len":128,"dox_thresholds":{"boards":7.5}}`),
+			metaFile: []byte(`{"version":1,"buckets":16,"dox_text_len":512,"cth_text_len":128,"dox_thresholds":{"boards":7.5}}`), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
 		},
-		"meta null json": {metaFile: []byte(`null`)},
+		"meta null json": {
+			metaFile: []byte(`null`), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
+		},
 		"meta empty object": {
-			metaFile: []byte(`{}`),
+			metaFile: []byte(`{}`), vocabFile: garbage, doxFile: garbage, cthFile: garbage,
 		},
 	}
 	for label, files := range cases {
@@ -92,12 +94,53 @@ func TestLoadDetectorGarbageDirectories(t *testing.T) {
 func TestLoadDetectorEmptyVocabularyNamed(t *testing.T) {
 	// An empty vocab would tokenize everything to [UNK] and silently
 	// produce meaningless scores; the error must name the artifact.
+	garbage := []byte("\x00garbage\x01")
 	dir := writeDir(t, map[string][]byte{
 		metaFile: []byte(validMeta), vocabFile: []byte("\n\n\n"),
+		doxFile: garbage, cthFile: garbage,
 	})
 	err := loadMustFail(t, dir, "blank-lines vocabulary")
 	if !strings.Contains(err.Error(), vocabFile) {
 		t.Errorf("error does not name %s: %v", vocabFile, err)
+	}
+}
+
+func TestValidateModelDirNamesEveryMissingFile(t *testing.T) {
+	// The up-front check must enumerate every absent artifact in one
+	// error, not fail piecemeal on the first open.
+	cases := []struct {
+		label   string
+		present map[string][]byte
+		missing []string
+	}{
+		{"empty dir", map[string][]byte{}, []string{vocabFile, doxFile, cthFile, metaFile}},
+		{"meta only", map[string][]byte{metaFile: []byte(validMeta)}, []string{vocabFile, doxFile, cthFile}},
+		{"models missing", map[string][]byte{metaFile: []byte(validMeta), vocabFile: []byte("a\nb\n")}, []string{doxFile, cthFile}},
+		{"one model missing", map[string][]byte{metaFile: []byte(validMeta), vocabFile: []byte("a\nb\n"), doxFile: []byte("x")}, []string{cthFile}},
+	}
+	for _, tc := range cases {
+		dir := writeDir(t, tc.present)
+		err := ValidateModelDir(dir)
+		if err == nil {
+			t.Fatalf("%s: ValidateModelDir accepted an incomplete directory", tc.label)
+		}
+		for _, name := range tc.missing {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("%s: error does not name missing %s: %v", tc.label, name, err)
+			}
+		}
+		for name := range tc.present {
+			if strings.Contains(err.Error(), name) {
+				t.Errorf("%s: error names present file %s: %v", tc.label, name, err)
+			}
+		}
+		// LoadDetector must surface the same up-front diagnosis.
+		if lerr := loadMustFail(t, dir, tc.label); !strings.Contains(lerr.Error(), tc.missing[0]) {
+			t.Errorf("%s: LoadDetector error does not name %s: %v", tc.label, tc.missing[0], lerr)
+		}
+	}
+	if err := ValidateModelDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("ValidateModelDir accepted a missing directory")
 	}
 }
 

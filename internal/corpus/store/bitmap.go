@@ -102,6 +102,101 @@ func (b *Bitmap) Cardinality() int {
 	return n
 }
 
+// And returns the intersection of b and o as a new bitmap. Containers
+// are walked pairwise by key (both sides keep them sorted), and within
+// a shared key the cheapest pairing runs: array∩array is a two-pointer
+// merge, array∩bitmap filters the array through the bitmap's words,
+// and bitmap∩bitmap is a word-wise AND that collapses back to an array
+// container when the result fits. Neither operand is modified.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	out := &Bitmap{}
+	if b == nil || o == nil {
+		return out
+	}
+	i, j := 0, 0
+	for i < len(b.containers) && j < len(o.containers) {
+		ca, co := &b.containers[i], &o.containers[j]
+		switch {
+		case ca.key < co.key:
+			i++
+		case ca.key > co.key:
+			j++
+		default:
+			if c, ok := andContainers(ca, co); ok {
+				out.containers = append(out.containers, c)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// andContainers intersects two containers sharing a key, reporting
+// ok=false when the result is empty (empty containers are never
+// stored).
+func andContainers(a, b *container) (container, bool) {
+	switch {
+	case a.bits == nil && b.bits == nil:
+		var arr []uint16
+		i, j := 0, 0
+		for i < len(a.array) && j < len(b.array) {
+			switch {
+			case a.array[i] < b.array[j]:
+				i++
+			case a.array[i] > b.array[j]:
+				j++
+			default:
+				arr = append(arr, a.array[i])
+				i++
+				j++
+			}
+		}
+		if len(arr) == 0 {
+			return container{}, false
+		}
+		return container{key: a.key, array: arr}, true
+	case a.bits != nil && b.bits != nil:
+		words := make([]uint64, bitmapWords)
+		n := 0
+		for w := range words {
+			words[w] = a.bits[w] & b.bits[w]
+			n += bits.OnesCount64(words[w])
+		}
+		switch {
+		case n == 0:
+			return container{}, false
+		case n <= arrayMax:
+			arr := make([]uint16, 0, n)
+			for w, word := range words {
+				for word != 0 {
+					t := bits.TrailingZeros64(word)
+					arr = append(arr, uint16(w*64+t))
+					word &^= 1 << t
+				}
+			}
+			return container{key: a.key, array: arr}, true
+		default:
+			return container{key: a.key, bits: words, n: n}, true
+		}
+	default:
+		sparse, dense := a, b
+		if a.bits != nil {
+			sparse, dense = b, a
+		}
+		var arr []uint16
+		for _, low := range sparse.array {
+			if dense.bits[low/64]&(uint64(1)<<(low%64)) != 0 {
+				arr = append(arr, low)
+			}
+		}
+		if len(arr) == 0 {
+			return container{}, false
+		}
+		return container{key: a.key, array: arr}, true
+	}
+}
+
 // Iterate calls fn for every set value in ascending order, stopping if
 // fn returns false.
 func (b *Bitmap) Iterate(fn func(v uint32) bool) {

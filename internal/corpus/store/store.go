@@ -559,6 +559,74 @@ func (s *Store) LookupDocs(token string, fn func(d *corpus.Document, ref DocRef)
 	return ferr
 }
 
+// LookupAll iterates the refs of every document whose index terms
+// include every token in tokens (AND semantics), in store order. The
+// intersection runs per segment over the posting bitmaps — rarest
+// posting first so the working set only ever shrinks — and never
+// decodes a document. Zero tokens match nothing; one token degrades to
+// Lookup. fn returns false to stop.
+func (s *Store) LookupAll(tokens []string, fn func(ref DocRef) bool) {
+	if len(tokens) == 0 {
+		return
+	}
+	norm := make([]string, len(tokens))
+	for i, tok := range tokens {
+		norm[i] = NormalizeToken(tok)
+	}
+	for segIdx, ix := range s.indexes {
+		postings := make([]*Bitmap, len(norm))
+		missing := false
+		for i, tok := range norm {
+			if postings[i] = ix.lookup(tok); postings[i] == nil {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			continue
+		}
+		sort.Slice(postings, func(i, j int) bool {
+			return postings[i].Cardinality() < postings[j].Cardinality()
+		})
+		bm := postings[0]
+		for _, p := range postings[1:] {
+			bm = bm.And(p)
+			if len(bm.containers) == 0 {
+				break
+			}
+		}
+		stop := false
+		bm.Iterate(func(ord uint32) bool {
+			if !fn(DocRef{Segment: segIdx, Ordinal: ord}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// LookupAllDocs is LookupAll plus document fetch: fn receives each
+// document matching every token, in store order.
+func (s *Store) LookupAllDocs(tokens []string, fn func(d *corpus.Document, ref DocRef) error) error {
+	var ferr error
+	s.LookupAll(tokens, func(ref DocRef) bool {
+		d, err := s.Doc(ref)
+		if err == nil {
+			err = fn(&d, ref)
+		}
+		if err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	return ferr
+}
+
 // Doc random-accesses one document through the segment's offset table.
 func (s *Store) Doc(ref DocRef) (corpus.Document, error) {
 	if ref.Segment < 0 || ref.Segment >= len(s.man.Segments) {

@@ -1,0 +1,48 @@
+package registry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRegistryManifest pins the manifest codec's identity contract:
+// any bytes decodeManifest accepts must re-encode to a canonical form
+// that decodes back to the same manifest, and the canonical form must
+// be a fixed point (encode(decode(encode(m))) == encode(m)). Rejection
+// must always be an error, never a panic — a hand-edited or torn
+// MANIFEST can contain anything.
+func FuzzRegistryManifest(f *testing.F) {
+	f.Add([]byte(`{"version":1,"counter":0,"active":0,"previous":0,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"counter":3,"active":3,"previous":1,"entries":[
+		{"generation":1,"seed":7,"source":"train"},
+		{"generation":3,"seed":9,"source":"retrain","note":"gated"}]}`))
+	f.Add([]byte(`{"version":1,"counter":2,"active":0,"previous":0,"entries":[{"generation":2,"seed":0}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return // rejected without panic: fine
+		}
+		enc, err := encodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest failed to encode: %v", err)
+		}
+		m2, err := decodeManifest(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by decoder: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode/encode/decode not identity:\n%+v\n%+v", m, m2)
+		}
+		enc2, err := encodeManifest(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not byte-stable:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -3,15 +3,26 @@ package serve
 // HTTP surface: request parsing, admission, and response assembly for
 // the scoring endpoints. Wire format notes:
 //
-//   POST /v1/score        {"id","platform","text"} -> ScoreResult
+//   POST /v1/score        {"id","platform","text"} -> ScoreResult (the
+//                         X-Model-Generation header and the
+//                         model_generation field name the model that
+//                         scored it)
 //   POST /v1/score/batch  JSONL (one document per line, lenient: bad
 //                         lines are quarantined and reported, reusing
 //                         corpus.ReadJSONLOpts) or a JSON array of
 //                         score requests -> BatchResponse
-//   GET  /healthz         process liveness, always 200
+//   POST /v1/feedback     JSON array of FeedbackItem -> 202 with the
+//                         accepted count (registered only when a
+//                         FeedbackSink is configured)
+//   GET  /healthz         process liveness, always 200; reports the
+//                         active model generation and training seed
 //   GET  /readyz          200 while a quorum of shards is healthy, 503
 //                         once draining or when half or more of the
-//                         shard fleet is down/open (degraded)
+//                         shard fleet is down/open (degraded); the
+//                         ready body carries generation and seed too
+//
+// With Config.Admin set, the model-lifecycle control surface is
+// mounted under /v1/admin/ with the prefix stripped.
 //
 // Overload and drain semantics: 429 + Retry-After when the in-flight
 // bound is hit or every healthy shard's queue is full, 503 +
@@ -60,6 +71,9 @@ type ScoreResult struct {
 	SeedQuery bool     `json:"seed_query"`
 	Degraded  []string `json:"degraded,omitempty"`
 	Error     string   `json:"error,omitempty"`
+	// ModelGen is the model generation that scored this document (0
+	// when the document was never scored, e.g. a lost-shard failure).
+	ModelGen uint64 `json:"model_generation,omitempty"`
 }
 
 // BatchLineError is one rejected batch input: a malformed or oversized
@@ -101,6 +115,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/score/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	if s.cfg.Feedback != nil {
+		s.mux.HandleFunc("POST /v1/feedback", s.instrument("feedback", s.handleFeedback))
+	}
+	if s.cfg.Admin != nil {
+		s.mux.Handle("/v1/admin/", http.StripPrefix("/v1/admin", s.cfg.Admin))
+	}
 	if s.cfg.Metrics != nil {
 		h := obshttp.Handler(s.cfg.Metrics)
 		s.mux.Handle("GET /metrics", h)
@@ -192,9 +212,25 @@ func (s *Server) rejectDispatch(w http.ResponseWriter, st dispatchStatus) {
 	writeError(w, http.StatusTooManyRequests, "server overloaded: retry later")
 }
 
+// healthBody is the healthz/readyz 200 payload: liveness/readiness
+// plus the identity of the model currently admitting traffic.
+type healthBody struct {
+	Status          string `json:"status"`
+	ModelGeneration uint64 `json:"model_generation"`
+	TrainingSeed    uint64 `json:"training_seed"`
+}
+
+func (s *Server) health(status string) healthBody {
+	hb := healthBody{Status: status}
+	if mdl := s.model.Load(); mdl != nil {
+		hb.ModelGeneration = mdl.Generation
+		hb.TrainingSeed = mdl.Seed
+	}
+	return hb
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n") //nolint:errcheck
+	writeJSON(w, http.StatusOK, s.health("ok"))
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -208,8 +244,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			strconv.Itoa(len(st.Shards))+" shards healthy", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ready\n") //nolint:errcheck
+	writeJSON(w, http.StatusOK, s.health("ready"))
+}
+
+// handleFeedback accepts a JSON array of operator-labelled documents
+// and hands it to the configured FeedbackSink (the retrain loop).
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var items []FeedbackItem
+	if err := json.Unmarshal(body, &items); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	accepted := items[:0]
+	for _, it := range items {
+		if strings.TrimSpace(it.Text) == "" {
+			continue
+		}
+		accepted = append(accepted, it)
+	}
+	if len(accepted) == 0 {
+		writeError(w, http.StatusBadRequest, "no feedback items with text")
+		return
+	}
+	if err := s.cfg.Feedback.AddFeedback(accepted); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "feedback rejected: "+err.Error())
+		return
+	}
+	s.m.feedback(len(accepted))
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(accepted)})
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -232,7 +298,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseRequest()
 
-	reply := make(chan resilience.Result[core.StreamDoc], 1)
+	reply := make(chan scored, 1)
 	if st := s.enqueue([]core.StreamDoc{{Platform: req.Platform, Text: req.Text}}, []string{req.ID}, reply); st != dispatchOK {
 		s.rejectDispatch(w, st)
 		return
@@ -241,15 +307,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	select {
-	case res := <-reply:
-		if res.Dead != nil && errors.Is(res.Dead.Err, errShardLost) {
+	case sc := <-reply:
+		if sc.res.Dead != nil && errors.Is(sc.res.Dead.Err, errShardLost) {
 			// The shard died and the single redispatch could not
 			// re-home the document: terminal, but retryable upstream.
 			s.retryAfter(w)
 			writeError(w, http.StatusServiceUnavailable, "scoring shard lost: retry later")
 			return
 		}
-		writeJSON(w, http.StatusOK, toScoreResult(res))
+		if sc.gen != 0 {
+			w.Header().Set("X-Model-Generation", strconv.FormatUint(sc.gen, 10))
+		}
+		writeJSON(w, http.StatusOK, toScoreResult(sc))
 	case <-ctx.Done():
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before scoring completed")
 	}
@@ -292,7 +361,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseRequest()
 	s.m.observeBatch(len(docs))
 
-	reply := make(chan resilience.Result[core.StreamDoc], len(docs))
+	reply := make(chan scored, len(docs))
 	if st := s.enqueue(docs, userIDs, reply); st != dispatchOK {
 		s.rejectDispatch(w, st)
 		return
@@ -303,8 +372,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]ScoreResult, len(docs))
 	for received := 0; received < len(docs); received++ {
 		select {
-		case res := <-reply:
-			results[res.Index] = toScoreResult(res)
+		case sc := <-reply:
+			results[sc.res.Index] = toScoreResult(sc)
 		case <-ctx.Done():
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded with "+
 				strconv.Itoa(len(docs)-received)+" of "+strconv.Itoa(len(docs))+" documents unscored")
@@ -363,8 +432,9 @@ func (s *Server) parseBatch(body []byte) (docs []core.StreamDoc, userIDs []strin
 	return docs, userIDs, quarantined, ""
 }
 
-// toScoreResult converts a stream result to the wire form.
-func toScoreResult(res resilience.Result[core.StreamDoc]) ScoreResult {
+// toScoreResult converts a stamped stream result to the wire form.
+func toScoreResult(sc scored) ScoreResult {
+	res := sc.res
 	out := ScoreResult{
 		ID:        res.Item.ID,
 		Status:    res.Status.String(),
@@ -374,10 +444,12 @@ func toScoreResult(res resilience.Result[core.StreamDoc]) ScoreResult {
 		Attacks:   res.Item.Attacks,
 		SeedQuery: res.Item.SeedQuery,
 		Degraded:  res.Degraded,
+		ModelGen:  sc.gen,
 	}
 	if res.Dead != nil {
 		out.Error = res.Dead.Err.Error()
 		out.CTH, out.Dox = 0, 0
+		out.ModelGen = 0
 	}
 	return out
 }

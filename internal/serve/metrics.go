@@ -31,6 +31,17 @@ package serve
 //	serve_shard_redispatch_total{shard}  counter (docs moved off this shard)
 //	serve_redispatch_total               counter (docs successfully re-homed)
 //	serve_redispatch_failed_total        counter (docs answered 503 shard-lost)
+//
+// Model lifecycle:
+//
+//	serve_model_generation               gauge     (active model generation)
+//	serve_model_swaps_total              counter   (completed hot-swaps)
+//	serve_swap_latency_ns                histogram (fleet rotation wall time)
+//	serve_feedback_total                 counter   (accepted feedback items)
+//	serve_shadow_docs_total              counter   (docs shadow-scored by a candidate)
+//	serve_shadow_dropped_total           counter   (sampled docs dropped: shadow queue full)
+//	serve_shadow_label_flips_total       counter   (active/candidate label disagreements)
+//	serve_shadow_score_delta_micros      histogram (|active - candidate| score delta, 1e-6 units)
 
 import (
 	"errors"
@@ -42,8 +53,8 @@ import (
 )
 
 var (
-	metricRoutes = []string{"score", "batch", "healthz", "readyz"}
-	metricCodes  = []int{200, 400, 404, 408, 413, 429, 500, 503, 504}
+	metricRoutes = []string{"score", "batch", "healthz", "readyz", "feedback"}
+	metricCodes  = []int{200, 202, 400, 404, 408, 413, 429, 500, 503, 504}
 )
 
 // serverMetrics holds the pre-registered handles. A nil *serverMetrics
@@ -61,6 +72,14 @@ type serverMetrics struct {
 	draining     *obs.Gauge
 	redisp       *obs.Counter
 	redispFailed *obs.Counter
+	generation   *obs.Gauge
+	swaps        *obs.Counter
+	swapLatency  *obs.Histogram
+	feedbackC    *obs.Counter
+	shadowDocs   *obs.Counter
+	shadowDrops  *obs.Counter
+	shadowFlips  *obs.Counter
+	shadowDelta  *obs.Histogram
 	shards       []*shardMetrics
 }
 
@@ -86,6 +105,16 @@ func batchBuckets() []int64 {
 	return out
 }
 
+// deltaBuckets is the shadow score-delta layout: 1e-6 to 1.0 (score
+// units are [0,1], recorded in micros) in 1-2-5 steps.
+func deltaBuckets() []int64 {
+	var out []int64
+	for _, scale := range []int64{1, 10, 100, 1000, 10000, 100000} {
+		out = append(out, scale, 2*scale, 5*scale)
+	}
+	return append(out, 1000000)
+}
+
 func newServerMetrics(reg *obs.Registry, shards int) *serverMetrics {
 	if reg == nil {
 		return nil
@@ -102,6 +131,14 @@ func newServerMetrics(reg *obs.Registry, shards int) *serverMetrics {
 		draining:     reg.NewGauge("serve_draining", "1 while Shutdown is draining the server"),
 		redisp:       reg.NewCounter("serve_redispatch_total", "Documents re-homed off a dead shard generation"),
 		redispFailed: reg.NewCounter("serve_redispatch_failed_total", "Documents answered 503 after losing their shard"),
+		generation:   reg.NewGauge("serve_model_generation", "Active model generation new admissions score with"),
+		swaps:        reg.NewCounter("serve_model_swaps_total", "Completed model hot-swaps"),
+		swapLatency:  reg.NewHistogram("serve_swap_latency_ns", "Fleet rotation wall time per hot-swap", obs.DurationBuckets()),
+		feedbackC:    reg.NewCounter("serve_feedback_total", "Accepted operator feedback items"),
+		shadowDocs:   reg.NewCounter("serve_shadow_docs_total", "Documents shadow-scored by a candidate model"),
+		shadowDrops:  reg.NewCounter("serve_shadow_dropped_total", "Sampled documents dropped because the shadow queue was full"),
+		shadowFlips:  reg.NewCounter("serve_shadow_label_flips_total", "Active/candidate label disagreements during shadow scoring"),
+		shadowDelta:  reg.NewHistogram("serve_shadow_score_delta_micros", "Absolute active-candidate score delta in 1e-6 units", deltaBuckets()),
 	}
 	for i := 0; i < shards; i++ {
 		l := obs.L("shard", strconv.Itoa(i))
@@ -212,6 +249,50 @@ func (m *serverMetrics) redispatches(n int) {
 func (m *serverMetrics) redispatchFailed() {
 	if m != nil {
 		m.redispFailed.Inc()
+	}
+}
+
+// setGeneration publishes the active model generation.
+func (m *serverMetrics) setGeneration(gen uint64) {
+	if m != nil {
+		m.generation.Set(float64(gen))
+	}
+}
+
+// swapDone accounts one completed fleet-wide hot-swap.
+func (m *serverMetrics) swapDone(gen uint64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.generation.Set(float64(gen))
+	m.swaps.Inc()
+	m.swapLatency.Observe(d.Nanoseconds())
+}
+
+// feedback accounts accepted feedback items.
+func (m *serverMetrics) feedback(n int) {
+	if m != nil {
+		m.feedbackC.Add(uint64(n))
+	}
+}
+
+// shadowScored accounts one shadow comparison: the absolute score
+// delta (in 1e-6 units) and whether the candidate flipped the label.
+func (m *serverMetrics) shadowScored(deltaMicros int64, flipped bool) {
+	if m == nil {
+		return
+	}
+	m.shadowDocs.Inc()
+	m.shadowDelta.Observe(deltaMicros)
+	if flipped {
+		m.shadowFlips.Inc()
+	}
+}
+
+// shadowDropped accounts a sampled document the shadow queue refused.
+func (m *serverMetrics) shadowDropped() {
+	if m != nil {
+		m.shadowDrops.Inc()
 	}
 }
 

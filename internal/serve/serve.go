@@ -60,6 +60,55 @@ type Backend interface {
 	ScoreStream(ctx context.Context, in <-chan core.StreamDoc, opts core.StreamOptions) <-chan resilience.Result[core.StreamDoc]
 }
 
+// Thresholder exposes a model's per-platform decision thresholds, used
+// by the shadow scorer to turn score divergence into label flips.
+// *core.Detector satisfies it.
+type Thresholder interface {
+	CTHThreshold(platform string) float64
+	DoxThreshold(platform string) float64
+}
+
+// Model is a versioned scoring artifact: the backend plus the registry
+// identity the serve layer reports with every response. Shards score
+// through an atomically swappable *Model handle, never a bare Backend,
+// so the model can change under traffic (SwapModel) while every
+// in-flight document still finishes on the generation that admitted
+// it.
+type Model struct {
+	// Backend scores the documents. Required.
+	Backend Backend
+	// Generation is the registry generation number (1 for an unmanaged
+	// boot-time model).
+	Generation uint64
+	// Seed is the model's training seed, surfaced on /healthz.
+	Seed uint64
+	// Thresholds, if set, supplies per-platform decision thresholds
+	// for shadow label-flip accounting.
+	Thresholds Thresholder
+}
+
+// FeedbackItem is one operator-labelled document posted to
+// POST /v1/feedback: live ground truth feeding the retrain loop.
+type FeedbackItem struct {
+	ID       string `json:"id,omitempty"`
+	Platform string `json:"platform,omitempty"`
+	Text     string `json:"text"`
+	// Task names the classifier the label applies to: "cth" or "dox"
+	// (default "cth").
+	Task string `json:"task,omitempty"`
+	// Label is the operator's call on the document.
+	Label bool `json:"label"`
+	// Generation optionally records which model generation produced
+	// the score the operator judged.
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// FeedbackSink receives accepted feedback batches. Implementations
+// must not block: the handler calls it on the request path.
+type FeedbackSink interface {
+	AddFeedback(items []FeedbackItem) error
+}
+
 // drainFlushTimeout bounds how long a dead generation flushes
 // already-computed results before its survivors are redispatched.
 const drainFlushTimeout = 3 * time.Second
@@ -67,8 +116,18 @@ const drainFlushTimeout = 3 * time.Second
 // Config configures a Server. The zero value of every limit picks a
 // production-safe default.
 type Config struct {
-	// Backend scores the documents. Required.
+	// Backend scores the documents. Required unless Model is set, in
+	// which case it is ignored in favour of Model.Backend.
 	Backend Backend
+	// Model is the initial versioned model handle. When nil, Backend
+	// is wrapped as generation 1 with the server seed.
+	Model *Model
+	// Feedback, if set, enables POST /v1/feedback and receives the
+	// accepted items.
+	Feedback FeedbackSink
+	// Admin, if set, is mounted under /v1/admin/ (stripped prefix) —
+	// the model-lifecycle control surface (swap/promote/rollback).
+	Admin http.Handler
 	// Shards is the number of independent scoring shards. Default
 	// min(GOMAXPROCS, 8).
 	Shards int
@@ -192,8 +251,17 @@ type Server struct {
 	m   *serverMetrics
 
 	shards     []*shard
+	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	supDone    chan struct{} // closed when every shard supervisor has exited
+
+	// model is the swappable handle every new shard session scores
+	// through; swapMu serialises SwapModel calls so concurrent swaps
+	// apply in a total order (each one exactly once).
+	model  atomic.Pointer[Model]
+	swapMu sync.Mutex
+	// shadow is the optional candidate-model shadow scorer.
+	shadow atomic.Pointer[shadowState]
 
 	nextID      atomic.Uint64
 	queuedTotal atomic.Int64 // aggregate admitted-unscored documents
@@ -216,10 +284,17 @@ func New(cfg Config) *Server {
 	rootCtx, rootCancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		rootCtx:    rootCtx,
 		rootCancel: rootCancel,
 		m:          newServerMetrics(cfg.Metrics, cfg.Shards),
 		supDone:    make(chan struct{}),
 	}
+	mdl := cfg.Model
+	if mdl == nil {
+		mdl = &Model{Backend: cfg.Backend, Generation: 1, Seed: cfg.Seed}
+	}
+	s.model.Store(mdl)
+	s.m.setGeneration(mdl.Generation)
 	totalWorkers := cfg.Workers
 	if totalWorkers <= 0 {
 		totalWorkers = runtime.GOMAXPROCS(0)
@@ -394,7 +469,7 @@ func (s *Server) releaseRequest() {
 
 // enqueue routes one request's documents to a shard. entries are
 // built here from the parallel docs/userIDs slices.
-func (s *Server) enqueue(docs []core.StreamDoc, userIDs []string, reply chan resilience.Result[core.StreamDoc]) dispatchStatus {
+func (s *Server) enqueue(docs []core.StreamDoc, userIDs []string, reply chan scored) dispatchStatus {
 	entries := make([]pendingDoc, len(docs))
 	for i := range docs {
 		entries[i] = pendingDoc{doc: docs[i], userID: userIDs[i], pos: i, reply: reply}

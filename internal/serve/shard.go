@@ -75,6 +75,15 @@ func (s shardState) String() string {
 	}
 }
 
+// scored is one terminal answer: the backend result plus the model
+// generation that produced it, stamped by the delivering session so a
+// response is attributable to exactly one model (gen 0 = never scored,
+// e.g. a quarantined shard-lost answer).
+type scored struct {
+	res resilience.Result[core.StreamDoc]
+	gen uint64
+}
+
 // pendingDoc is one admitted document awaiting its result: the routing
 // info to answer its request plus the input document itself, so a
 // dying shard can hand ownership to a healthy one.
@@ -90,7 +99,7 @@ type pendingDoc struct {
 	pos int
 	// reply is the request's result channel, buffered for every
 	// document in the request: delivery never blocks a collector.
-	reply chan resilience.Result[core.StreamDoc]
+	reply chan scored
 	// redispatched marks a document already moved off one dead shard;
 	// it will not be moved again.
 	redispatched bool
@@ -107,11 +116,23 @@ type shard struct {
 
 	mu      sync.Mutex
 	state   shardState
-	gen     int                   // current (or last) generation number
-	in      chan core.StreamDoc   // current generation's input channel
+	gen     int                   // current (or last) supervisor generation number
+	in      chan core.StreamDoc   // current session's input channel
 	hb      *resilience.Heartbeat // current generation's heartbeat
 	pending map[string]pendingDoc
 	queued  int
+	// modelGen is the model generation the current session scores
+	// with; deliver stamps it onto every answer.
+	modelGen uint64
+	// rotate is the current session's hand-over signal (closed at most
+	// once per session, guarded by rotated); nil between sessions.
+	rotate  chan struct{}
+	rotated bool
+	// sending counts dispatches that reserved queue slots but have not
+	// finished their (non-blocking) channel sends yet; a graceful
+	// rotation waits for it to reach zero before closing in.
+	sending  int
+	sendIdle *sync.Cond
 
 	// lifetime counters (under mu; mirrored to metrics).
 	restarts     uint64
@@ -135,6 +156,7 @@ func newShard(s *Server, id, depth, workers int) *shard {
 		ready:   make(chan struct{}),
 		sm:      s.m.forShard(id),
 	}
+	sh.sendIdle = sync.NewCond(&sh.mu)
 	sh.breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		FailureThreshold: s.cfg.BreakerThreshold,
 		OpenTimeout:      s.cfg.BreakerOpenTimeout,
@@ -180,25 +202,62 @@ func (sh *shard) onExit(_ int, _ time.Duration, err error, _ time.Duration) {
 	sh.sm.generationFailed(err)
 }
 
-// task is one supervised generation: open a fresh backend stream and
-// queue, collect results until the generation dies or shuts down, then
-// tear down — flush already-computed results, sweep the pending table,
-// and hand the survivors to the server for redispatch.
+// errRotated is the internal sentinel a session returns after a
+// graceful model hand-over. It never reaches the supervisor: task
+// consumes it and opens the next session on the published model, so a
+// rotation is not a failure (no breaker hit, no restart backoff).
+var errRotated = errors.New("serve: session rotated to a new model")
+
+// task is one supervised generation: a loop of scoring sessions. Each
+// session scores through the model handle published at its open; a
+// graceful model rotation ends the session with errRotated and the
+// loop immediately opens the next one on the new model. Any other exit
+// (panic, stall, backend error, shutdown) propagates to the supervisor
+// as before.
 func (sh *shard) task(gctx context.Context, gen int, hb *resilience.Heartbeat) error {
+	for {
+		err := sh.session(gctx, gen, hb)
+		if !errors.Is(err, errRotated) {
+			return err
+		}
+		if gctx.Err() != nil {
+			return gctx.Err()
+		}
+	}
+}
+
+// session opens one backend stream on the current model and collects
+// results until the session dies, shuts down, or is asked to rotate.
+// Teardown flushes already-computed results, sweeps the pending table,
+// and hands the survivors to the server for redispatch; the graceful
+// rotation path closes the input first so the old backend finishes —
+// and the session delivers — everything admitted to it, keeping every
+// response scored wholly by one generation.
+func (sh *shard) session(gctx context.Context, gen int, hb *resilience.Heartbeat) error {
+	mdl := sh.srv.model.Load()
 	sctx, scancel := context.WithCancel(gctx)
 	defer scancel()
 	in := make(chan core.StreamDoc, sh.depth)
-	out := sh.srv.cfg.Backend.ScoreStream(sctx, in, core.StreamOptions{
+	out := mdl.Backend.ScoreStream(sctx, in, core.StreamOptions{
 		Workers:  sh.workers,
 		Seed:     sh.srv.cfg.Seed,
 		Annotate: sh.srv.cfg.Annotate,
 		Metrics:  sh.srv.cfg.Metrics,
 	})
-	sh.openGen(gen, in, hb)
+	rotate := make(chan struct{})
+	sh.openSession(gen, in, hb, mdl.Generation, rotate)
 
-	err := sh.collect(gctx, gen, out, hb)
+	err := sh.collect(gctx, gen, out, hb, rotate)
 
 	sh.closeGen()
+	if errors.Is(err, errRotated) {
+		// Graceful hand-over: no new admissions (closeGen), wait for
+		// reserved sends to land, then close the input so the old
+		// backend finishes its queue and closes out; deliver it all.
+		sh.waitSendsIdle()
+		close(in)
+		sh.flushClosed(gctx, out, hb)
+	}
 	scancel()
 	sh.drainOut(out)
 	lost := sh.sweepPending()
@@ -208,32 +267,75 @@ func (sh *shard) task(gctx context.Context, gen int, hb *resilience.Heartbeat) e
 	return err
 }
 
-// openGen publishes a new generation's queue and heartbeat and starts
-// accepting documents. The carried-over queue is always empty here:
-// closeGen + sweep ran before the previous generation's task returned.
-func (sh *shard) openGen(gen int, in chan core.StreamDoc, hb *resilience.Heartbeat) {
+// openSession publishes a new session's queue, heartbeat, model
+// generation and rotation signal, and starts accepting documents. The
+// carried-over queue is always empty here: closeGen + sweep ran before
+// the previous session returned.
+func (sh *shard) openSession(gen int, in chan core.StreamDoc, hb *resilience.Heartbeat, modelGen uint64, rotate chan struct{}) {
 	sh.mu.Lock()
 	sh.gen = gen
 	sh.in = in
 	sh.hb = hb
+	sh.modelGen = modelGen
+	sh.rotate = rotate
+	sh.rotated = false
 	sh.state = shardRunning
 	sh.mu.Unlock()
 	sh.sm.setState(shardRunning)
 	sh.readyOnce.Do(func() { close(sh.ready) })
 }
 
-// closeGen stops admissions to the current generation.
+// waitSendsIdle blocks until no dispatch holds reserved-but-unsent
+// queue slots on this shard. Admissions are already closed, and
+// reserved sends cannot block (cap(in) == depth), so this resolves
+// promptly.
+func (sh *shard) waitSendsIdle() {
+	sh.mu.Lock()
+	for sh.sending > 0 {
+		sh.sendIdle.Wait()
+	}
+	sh.mu.Unlock()
+}
+
+// flushClosed delivers every result of a closed-input stream until the
+// backend closes out, bounded so a wedged backend cannot pin the
+// rotation (survivors are swept and redispatched like any dead
+// generation's).
+func (sh *shard) flushClosed(gctx context.Context, out <-chan resilience.Result[core.StreamDoc], hb *resilience.Heartbeat) {
+	t := time.NewTimer(drainFlushTimeout)
+	defer t.Stop()
+	for {
+		select {
+		case res, ok := <-out:
+			if !ok {
+				return
+			}
+			hb.Beat()
+			sh.deliver(res)
+		case <-t.C:
+			return
+		case <-gctx.Done():
+			return
+		}
+	}
+}
+
+// closeGen stops admissions to the current session and retires its
+// rotation signal (a dead session needs no hand-over; its successor
+// reads the published model handle).
 func (sh *shard) closeGen() {
 	sh.mu.Lock()
 	sh.state = shardDown
+	sh.rotate = nil
 	sh.mu.Unlock()
 	sh.sm.setState(shardDown)
 }
 
-// collect is the generation's single result consumer. Panics (its own
-// or injected) are captured as the generation error so the teardown in
-// task always runs.
-func (sh *shard) collect(gctx context.Context, gen int, out <-chan resilience.Result[core.StreamDoc], hb *resilience.Heartbeat) (err error) {
+// collect is the session's single result consumer. Panics (its own
+// or injected) are captured as the session error so the teardown in
+// session always runs. A rotation signal ends collection with
+// errRotated — the graceful hand-over path.
+func (sh *shard) collect(gctx context.Context, gen int, out <-chan resilience.Result[core.StreamDoc], hb *resilience.Heartbeat, rotate <-chan struct{}) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &resilience.PanicError{Value: v, Stack: debug.Stack()}
@@ -255,6 +357,8 @@ func (sh *shard) collect(gctx context.Context, gen int, out <-chan resilience.Re
 			}
 			hb.Beat()
 			sh.deliver(res)
+		case <-rotate:
+			return errRotated
 		case <-gctx.Done():
 			return gctx.Err()
 		}
@@ -285,6 +389,7 @@ func (sh *shard) admit(docs []core.StreamDoc, entries []pendingDoc) (in chan<- c
 	}
 	sh.queued += len(docs)
 	sh.hb.AddBusy(len(docs))
+	sh.sending++
 	genIn := sh.in
 	for i := range docs {
 		id := fmt.Sprintf("serve-%d", sh.srv.nextID.Add(1))
@@ -298,10 +403,21 @@ func (sh *shard) admit(docs []core.StreamDoc, entries []pendingDoc) (in chan<- c
 	return genIn, true, false
 }
 
+// sendDone marks an admitted dispatch's sends complete, releasing a
+// rotation waiting to close the session's input.
+func (sh *shard) sendDone() {
+	sh.mu.Lock()
+	sh.sending--
+	sh.mu.Unlock()
+	sh.sendIdle.Broadcast()
+}
+
 // deliver routes one backend result to its waiting request, releasing
-// the document's queue slot. Results whose pending entry is gone
-// (redispatched or already settled) are dropped: the entry owner
-// answered or will answer.
+// the document's queue slot and stamping the session's model
+// generation (the model that actually scored it). Results whose
+// pending entry is gone (redispatched or already settled) are dropped:
+// the entry owner answered or will answer. Successful results are
+// offered to the shadow scorer, off the shard lock.
 func (sh *shard) deliver(res resilience.Result[core.StreamDoc]) {
 	sh.mu.Lock()
 	p, ok := sh.pending[res.Item.ID]
@@ -311,6 +427,7 @@ func (sh *shard) deliver(res resilience.Result[core.StreamDoc]) {
 		sh.hb.AddBusy(-1)
 	}
 	queued := sh.queued
+	gen := sh.modelGen
 	sh.mu.Unlock()
 	if !ok {
 		return
@@ -326,7 +443,12 @@ func (sh *shard) deliver(res resilience.Result[core.StreamDoc]) {
 		res.Dead = &dead
 	}
 	sh.srv.m.docScored(res.Status)
-	p.reply <- res
+	p.reply <- scored{res: res, gen: gen}
+	if res.Status != resilience.StatusQuarantined {
+		if st := sh.srv.shadow.Load(); st != nil {
+			st.offer(p.doc, res.Item, gen)
+		}
+	}
 }
 
 // drainOut flushes results the backend had already computed when the
@@ -350,13 +472,18 @@ func (sh *shard) drainOut(out <-chan resilience.Result[core.StreamDoc]) {
 }
 
 // sweepPending takes ownership of every document the dead generation
-// still held.
+// still held. It also releases the heartbeat busy counts the swept
+// documents were holding: the session loop reuses one heartbeat across
+// rotations, so residual busy would read as a permanent stall.
 func (sh *shard) sweepPending() map[string]pendingDoc {
 	sh.mu.Lock()
 	lost := sh.pending
 	sh.pending = make(map[string]pendingDoc)
 	n := sh.queued
 	sh.queued = 0
+	if n > 0 && sh.hb != nil {
+		sh.hb.AddBusy(-n)
+	}
 	sh.mu.Unlock()
 	if n > 0 {
 		sh.sm.setQueue(0)
@@ -430,6 +557,7 @@ func (s *Server) dispatch(docs []core.StreamDoc, entries []pendingDoc) dispatchS
 			for i := range docs {
 				in <- docs[i]
 			}
+			sh.sendDone()
 			return dispatchOK
 		}
 		if sh.healthy() {
@@ -500,10 +628,10 @@ func (s *Server) answerLost(p pendingDoc, cause error) {
 		s.m.redispatchFailed()
 	}
 	s.m.docScored(resilience.StatusQuarantined)
-	p.reply <- resilience.Result[core.StreamDoc]{
+	p.reply <- scored{res: resilience.Result[core.StreamDoc]{
 		Index:  p.pos,
 		Item:   core.StreamDoc{ID: p.userID},
 		Status: resilience.StatusQuarantined,
 		Dead:   &resilience.DeadLetter{ID: p.userID, Stage: "serve-shard", Err: cause},
-	}
+	}}
 }

@@ -1,0 +1,453 @@
+package serve
+
+// Hot-swap certification, run under -race by check.sh: a seeded swap
+// storm between two model generations under concurrent load and shard
+// panics loses zero requests, and every 200 response is scored wholly
+// by a single generation — its (CTH, Dox) pair equals that
+// generation's pure golden function and the stamped model_generation
+// names it. A response mixing generations would match neither golden
+// pair.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harassrepro/internal/core"
+	"harassrepro/internal/obs"
+	"harassrepro/internal/resilience"
+	"harassrepro/internal/resilience/chaos"
+)
+
+// genScore is the deterministic per-generation golden function: two
+// generations score the same text differently, so which model scored a
+// document is recoverable from the response alone.
+func genScore(gen uint64, text string) (cth, dox float64) {
+	h := 14695981039346656037 + gen*0x9e3779b97f4a7c15
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= 1099511628211 + gen
+	}
+	return float64(h%1000) / 1000, float64(h%97) / 97
+}
+
+// genBackend scores every document with genScore(gen, text) on a real
+// resilience runner, one fake versioned model artifact per generation.
+type genBackend struct {
+	gen   uint64
+	delay time.Duration
+}
+
+func (g *genBackend) ScoreStream(ctx context.Context, in <-chan core.StreamDoc, opts core.StreamOptions) <-chan resilience.Result[core.StreamDoc] {
+	stage := resilience.Stage[core.StreamDoc]{
+		Name: "gen-score",
+		Fn: func(ctx context.Context, _ int, sd *core.StreamDoc) error {
+			if g.delay > 0 {
+				select {
+				case <-time.After(g.delay):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			sd.CTH, sd.Dox = genScore(g.gen, sd.Text)
+			return nil
+		},
+	}
+	return resilience.NewRunner(resilience.Config[core.StreamDoc]{
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+		Metrics: opts.Metrics,
+	}, stage).Process(ctx, in)
+}
+
+func TestHotSwapStormNoLossNoTornReads(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	plan := &chaos.ServePlan{
+		Seed:      13,
+		PanicRate: 0.2,
+		Targets:   map[int]bool{0: true},
+		MaxFaults: 25,
+	}
+	m1 := &Model{Backend: &genBackend{gen: 1}, Generation: 1, Seed: 101}
+	m2 := &Model{Backend: &genBackend{gen: 2}, Generation: 2, Seed: 202}
+	s := New(Config{
+		Model:              m1,
+		Shards:             3,
+		Workers:            3,
+		QueueDepth:         96,
+		BreakerThreshold:   2,
+		BreakerOpenTimeout: 50 * time.Millisecond,
+		StallTimeout:       500 * time.Millisecond,
+		RestartBackoff:     resilience.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		RequestTimeout:     10 * time.Second,
+		Faults:             plan,
+		Metrics:            reg,
+	})
+	ts := newHTTPFront(t, s)
+
+	// Swap storm: alternate the two generations for the whole load run.
+	stopSwaps := make(chan struct{})
+	swapsDone := make(chan struct{})
+	go func() {
+		defer close(swapsDone)
+		models := [2]*Model{m2, m1}
+		for i := 0; ; i++ {
+			select {
+			case <-stopSwaps:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := s.SwapModel(ctx, models[i%2]); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+			}
+			cancel()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	const clients, perClient = 8, 40
+	var (
+		sent      atomic.Int64
+		okCount   atomic.Int64
+		lostCount atomic.Int64
+		genSeen   [3]atomic.Int64
+		mu        sync.Mutex
+		bad       []string
+	)
+	post := func(client, n int) {
+		text := fmt.Sprintf("swap-storm doc %d-%d", client, n)
+		sent.Add(1)
+		resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"id":"c%d-%d","text":%q}`, client, n, text)))
+		if err != nil {
+			mu.Lock()
+			bad = append(bad, fmt.Sprintf("req %d-%d: transport error %v", client, n, err))
+			mu.Unlock()
+			return
+		}
+		var res ScoreResult
+		derr := json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if derr != nil {
+				t.Errorf("req %d-%d: bad body: %v", client, n, derr)
+				return
+			}
+			// Torn-read check: the response must equal exactly the
+			// stamped generation's golden pair — a document half-scored
+			// by each model could match neither.
+			if res.ModelGen != 1 && res.ModelGen != 2 {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: model_generation = %d", client, n, res.ModelGen))
+				mu.Unlock()
+				return
+			}
+			wantCTH, wantDox := genScore(res.ModelGen, text)
+			if res.CTH != wantCTH || res.Dox != wantDox {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: scores (%v,%v) != generation %d golden (%v,%v)",
+					client, n, res.CTH, res.Dox, res.ModelGen, wantCTH, wantDox))
+				mu.Unlock()
+				return
+			}
+			if hdr := resp.Header.Get("X-Model-Generation"); hdr != strconv.FormatUint(res.ModelGen, 10) {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: header generation %q != body %d", client, n, hdr, res.ModelGen))
+				mu.Unlock()
+				return
+			}
+			genSeen[res.ModelGen].Add(1)
+			okCount.Add(1)
+		case http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") == "" {
+				mu.Lock()
+				bad = append(bad, fmt.Sprintf("req %d-%d: 503 without Retry-After", client, n))
+				mu.Unlock()
+				return
+			}
+			lostCount.Add(1)
+		default:
+			mu.Lock()
+			bad = append(bad, fmt.Sprintf("req %d-%d: unexpected status %d", client, n, resp.StatusCode))
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for n := 0; n < perClient; n++ {
+				post(client, n)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopSwaps)
+	<-swapsDone
+	for _, b := range bad {
+		t.Error(b)
+	}
+
+	// Zero lost requests: exactly one terminal answer each.
+	if got := okCount.Load() + lostCount.Load(); got != sent.Load() {
+		t.Errorf("answers = %d (ok %d + lost %d), want %d", got, okCount.Load(), lostCount.Load(), sent.Load())
+	}
+	// The storm actually interleaved: both generations served traffic
+	// and the chaos plan fired.
+	if genSeen[1].Load() == 0 || genSeen[2].Load() == 0 {
+		t.Errorf("generation mix = gen1:%d gen2:%d, want both > 0", genSeen[1].Load(), genSeen[2].Load())
+	}
+	if plan.Disrupted() == 0 {
+		t.Error("chaos plan never fired during the storm")
+	}
+
+	// Converge the fleet on generation 2 and prove new admissions use
+	// it: SwapModel returns only after every shard rotated.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := s.SwapModel(ctx, m2); err != nil {
+		t.Fatalf("final swap: %v", err)
+	}
+	cancel()
+	if got := s.ActiveModel().Generation; got != 2 {
+		t.Fatalf("ActiveModel().Generation = %d, want 2", got)
+	}
+	text := "post-storm convergence probe"
+	code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", fmt.Sprintf(`{"text":%q}`, text))
+	if code != http.StatusOK {
+		t.Fatalf("post-storm score = %d body %s", code, body)
+	}
+	var res ScoreResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if c2, d2 := genScore(2, text); res.ModelGen != 2 || res.CTH != c2 || res.Dox != d2 {
+		t.Errorf("post-storm response = gen %d (%v,%v), want gen 2 (%v,%v)", res.ModelGen, res.CTH, res.Dox, c2, d2)
+	}
+
+	// Swap accounting: the gauge names the active generation and every
+	// completed storm swap was counted exactly once.
+	snap := reg.Snapshot()
+	if gen := snap.CounterValue("serve_model_generation"); gen != 2 {
+		t.Errorf("serve_model_generation = %v, want 2", gen)
+	}
+	if swaps := snap.CounterValue("serve_model_swaps_total"); swaps < 3 {
+		t.Errorf("serve_model_swaps_total = %v, want a storm (>= 3)", swaps)
+	}
+
+	// Queue accounting converged.
+	st := s.Stats()
+	if st.Queued != 0 || st.InFlight != 0 {
+		t.Errorf("post-storm stats = %+v, want drained", st)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	ts.Close()
+	waitForGoroutines(t, before)
+}
+
+func TestSwapModelIdempotentUnderConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	m1 := &Model{Backend: &genBackend{gen: 1}, Generation: 1}
+	m2 := &Model{Backend: &genBackend{gen: 2}, Generation: 2}
+	s := New(Config{Model: m1, Shards: 2, Workers: 2, Metrics: reg})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := s.SwapModel(ctx, m2); err != nil {
+				t.Errorf("SwapModel: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.ActiveModel().Generation; got != 2 {
+		t.Fatalf("generation = %d, want 2", got)
+	}
+	// Four racing swaps to the same generation apply exactly once.
+	if swaps := reg.Snapshot().CounterValue("serve_model_swaps_total"); swaps != 1 {
+		t.Errorf("serve_model_swaps_total = %v, want 1", swaps)
+	}
+	if err := s.SwapModel(context.Background(), nil); err == nil {
+		t.Error("SwapModel(nil) accepted")
+	}
+}
+
+// fixedThresholds is a Thresholder with one global threshold pair.
+type fixedThresholds struct{ cth, dox float64 }
+
+func (f fixedThresholds) CTHThreshold(string) float64 { return f.cth }
+func (f fixedThresholds) DoxThreshold(string) float64 { return f.dox }
+
+func TestShadowScoringDivergenceAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	m1 := &Model{Backend: &genBackend{gen: 1}, Generation: 1, Thresholds: fixedThresholds{0.5, 0.5}}
+	m2 := &Model{Backend: &genBackend{gen: 2}, Generation: 2, Thresholds: fixedThresholds{0.5, 0.5}}
+	s := New(Config{Model: m1, Shards: 2, Workers: 2, Metrics: reg})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	if err := s.SetShadow(nil, 1); err == nil {
+		t.Fatal("SetShadow(nil) accepted")
+	}
+	if err := s.SetShadow(m2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	const docs = 40
+	flips, maxDelta := 0, 0.0
+	for i := 0; i < docs; i++ {
+		text := fmt.Sprintf("shadow sample %d", i)
+		code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", fmt.Sprintf(`{"text":%q}`, text))
+		if code != http.StatusOK {
+			t.Fatalf("doc %d: status %d body %s", i, code, body)
+		}
+		// Expected divergence from the pure golden functions.
+		c1, d1 := genScore(1, text)
+		c2, d2 := genScore(2, text)
+		if (c1 >= 0.5) != (c2 >= 0.5) || (d1 >= 0.5) != (d2 >= 0.5) {
+			flips++
+		}
+		delta := c1 - c2
+		if delta < 0 {
+			delta = -delta
+		}
+		if dd := d1 - d2; dd > delta {
+			delta = dd
+		} else if -dd > delta {
+			delta = -dd
+		}
+		if delta > maxDelta {
+			maxDelta = delta
+		}
+	}
+	// Rate 1.0 samples everything; wait for the async worker to drain.
+	var st ShadowStats
+	waitFor(t, 5*time.Second, func() bool {
+		var ok bool
+		st, ok = s.ShadowStats()
+		return ok && st.Docs+st.Dropped >= docs
+	})
+	if st.Generation != 2 {
+		t.Errorf("shadow generation = %d, want 2", st.Generation)
+	}
+	if st.Docs == 0 {
+		t.Fatalf("shadow scored nothing: %+v", st)
+	}
+	if st.MeanDelta <= 0 || st.MaxDelta <= 0 || st.MaxDelta > maxDelta+1e-9 {
+		t.Errorf("deltas = mean %v max %v (offline max %v), want positive and bounded", st.MeanDelta, st.MaxDelta, maxDelta)
+	}
+	if flips > 0 && st.Dropped == 0 && int(st.LabelFlips) > flips {
+		t.Errorf("label flips = %d, offline bound %d", st.LabelFlips, flips)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("serve_shadow_docs_total"); got != float64(st.Docs) {
+		t.Errorf("serve_shadow_docs_total = %v, stats %d", got, st.Docs)
+	}
+
+	s.ClearShadow()
+	if _, ok := s.ShadowStats(); ok {
+		t.Error("ShadowStats still active after ClearShadow")
+	}
+}
+
+// captureSink records feedback batches.
+type captureSink struct {
+	mu    sync.Mutex
+	items []FeedbackItem
+}
+
+func (c *captureSink) AddFeedback(items []FeedbackItem) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = append(c.items, items...)
+	return nil
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	sink := &captureSink{}
+	reg := obs.NewRegistry()
+	s := New(Config{Backend: &genBackend{gen: 1}, Shards: 1, Workers: 1, Feedback: sink, Metrics: reg})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	code, body, _ := postJSON(t, ts.Client(), ts.URL+"/v1/feedback",
+		`[{"platform":"boards","text":"go after this user","task":"cth","label":true,"generation":1},
+		  {"text":"   ","label":false},
+		  {"platform":"video","text":"benign clip comment","label":false}]`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d body %s, want 202", code, body)
+	}
+	if !strings.Contains(body, `"accepted":2`) {
+		t.Errorf("body = %s, want accepted:2 (blank text dropped)", body)
+	}
+	sink.mu.Lock()
+	n := len(sink.items)
+	first := FeedbackItem{}
+	if n > 0 {
+		first = sink.items[0]
+	}
+	sink.mu.Unlock()
+	if n != 2 || first.Platform != "boards" || !first.Label || first.Generation != 1 {
+		t.Errorf("sink got %d items, first %+v", n, first)
+	}
+	if got := reg.Snapshot().CounterValue("serve_feedback_total"); got != 2 {
+		t.Errorf("serve_feedback_total = %v, want 2", got)
+	}
+
+	for _, bad := range []string{`not json`, `[]`, `[{"text":""}]`} {
+		code, _, _ := postJSON(t, ts.Client(), ts.URL+"/v1/feedback", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("feedback %q = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestHealthzReportsModelIdentity(t *testing.T) {
+	m := &Model{Backend: &genBackend{gen: 3}, Generation: 3, Seed: 77}
+	s := New(Config{Model: m, Shards: 1, Workers: 1})
+	ts := newHTTPFront(t, s)
+	defer shutdownServer(t, s, ts)
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hb healthBody
+		derr := json.NewDecoder(resp.Body).Decode(&hb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			t.Fatalf("%s = %d (%v)", path, resp.StatusCode, derr)
+		}
+		if hb.ModelGeneration != 3 || hb.TrainingSeed != 77 {
+			t.Errorf("%s body = %+v, want generation 3 seed 77", path, hb)
+		}
+	}
+}

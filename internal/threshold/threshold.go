@@ -84,10 +84,22 @@ type Selection struct {
 	Trail          []Evaluation
 }
 
+// Annotator estimates labels for a batch of items. *annotate.Pool
+// satisfies it; tests substitute deterministic fakes.
+type Annotator interface {
+	Annotate(items []annotate.Item) ([]annotate.Decision, annotate.Stats, error)
+}
+
 // Select runs the §5.5 procedure over scored documents using the expert
 // annotator pool to estimate precision at each candidate threshold.
-func Select(docs []ScoredDoc, experts *annotate.Pool, cfg Config) (Selection, error) {
+//
+// The docs slice is snapshotted on entry: selection is pinned to the
+// scores it was handed even if the caller's slice is re-scored by a
+// newer model generation mid-search, so every evaluation in the trail
+// reads one generation's scores.
+func Select(docs []ScoredDoc, experts Annotator, cfg Config) (Selection, error) {
 	cfg.fillDefaults()
+	docs = append([]ScoredDoc(nil), docs...)
 	rng := randx.New(cfg.Seed).Split("threshold")
 
 	evaluate := func(t float64) (Evaluation, error) {

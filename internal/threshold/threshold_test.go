@@ -135,6 +135,70 @@ func TestSelectDeterministic(t *testing.T) {
 	}
 }
 
+// rescoringAnnotator wraps a real expert pool but, after its first
+// batch, re-scores the caller's docs slice in place — simulating a
+// model hot-swap landing mid-selection, where a shared candidate pool
+// gets overwritten with the next generation's scores.
+type rescoringAnnotator struct {
+	inner   *annotate.Pool
+	victim  []ScoredDoc
+	rescore func(i int, d ScoredDoc) float64
+	calls   int
+}
+
+func (r *rescoringAnnotator) Annotate(items []annotate.Item) ([]annotate.Decision, annotate.Stats, error) {
+	r.calls++
+	if r.calls == 1 {
+		for i := range r.victim {
+			r.victim[i].Score = r.rescore(i, r.victim[i])
+		}
+	}
+	return r.inner.Annotate(items)
+}
+
+func TestSelectPinnedToOneGenerationMidRescore(t *testing.T) {
+	// Generation A's scores drive a pure run; then the same selection
+	// runs while generation B overwrites the shared slice after the
+	// first precision estimate. Selection must be identical: it only
+	// ever reads generation A's scores.
+	genB := func(i int, d ScoredDoc) float64 {
+		// A different, adversarial generation: inverted and shifted so
+		// every ladder step sees a different candidate set.
+		return 1 - 0.9*d.Score
+	}
+
+	pure := makeScored(8000, 0.04, 0.20, 21)
+	want, err := Select(pure, expertPool(22), Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := makeScored(8000, 0.04, 0.20, 21)
+	ann := &rescoringAnnotator{inner: expertPool(22), victim: shared, rescore: genB}
+	got, err := Select(shared, ann, Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.calls < 2 {
+		t.Fatalf("selection made %d annotation calls; need >= 2 for the mid-selection rescore to matter", ann.calls)
+	}
+	if got.Threshold != want.Threshold || got.Precision != want.Precision || got.AboveThreshold != want.AboveThreshold {
+		t.Fatalf("selection read rescored generation: got %+v, want %+v", got, want)
+	}
+	if len(got.Trail) != len(want.Trail) {
+		t.Fatalf("trail length differs: %d vs %d", len(got.Trail), len(want.Trail))
+	}
+	for i := range got.Trail {
+		if got.Trail[i] != want.Trail[i] {
+			t.Fatalf("trail[%d] differs: %+v vs %+v", i, got.Trail[i], want.Trail[i])
+		}
+	}
+	// Sanity: generation B really did overwrite the shared slice.
+	if shared[0].Score == pure[0].Score {
+		t.Fatal("rescore never happened; test is vacuous")
+	}
+}
+
 func TestCountAbove(t *testing.T) {
 	docs := []ScoredDoc{{Score: 0.1}, {Score: 0.5}, {Score: 0.9}}
 	if got := CountAbove(docs, 0.5); got != 1 {

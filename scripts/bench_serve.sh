@@ -4,24 +4,47 @@
 # at startup), drives it with concurrent clients, curl-smokes every
 # endpoint, then SIGTERMs mid-idle and asserts a clean drain (exit 0).
 #
-# Two load phases land in BENCH_serve.json at the repo root:
+# Four load phases land in BENCH_serve.json at the repo root:
 #
 #   healthy — the full shard fleet serving normally;
 #   faulted — the same fleet with 1 of 4 shards continuously failing
 #             under a seeded chaos plan, measuring the throughput and
-#             p99 cost of riding through a persistent shard incident.
+#             p99 cost of riding through a persistent shard incident;
+#   swap    — a -registry fleet hot-swapped to a retrained generation
+#             mid-run, with the swap latency (swap_latency_ns) reported
+#             from the admin response;
+#   shadow  — the same fleet shadow-scoring a candidate generation on a
+#             shadow_rate sample of live traffic, measuring the rps
+#             cost of divergence measurement (gated ≤ 10% in check.sh).
 #
-# Usage: scripts/bench_serve.sh [-clients N] [-duration D]
+# With -gate (how check.sh runs it) two regression gates must hold:
+#
+#   * healthy throughput ≥ 95% of the committed pre-lifecycle baseline
+#     (the Backend→Model handle refactor may not cost steady-state
+#     throughput);
+#   * shadow throughput ≥ 90% of the swap phase's (the same fleet and
+#     traffic shape with shadowing off) — shadow scoring may cost at
+#     most 10% rps.
+#
+# Usage: scripts/bench_serve.sh [-clients N] [-duration D] [-gate]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The healthy-phase throughput of the pre-lifecycle serving layer
+# (fixed Backend, no swap indirection) re-measured on the CI machine
+# when the model-lifecycle gate was introduced. Same clients, same
+# duration, same traffic mix as the healthy phase below.
+baseline_rps=1624.6
+
 clients=64
 duration=5s
+gate=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -clients)  clients=$2; shift 2 ;;
     -duration) duration=$2; shift 2 ;;
-    *) echo "usage: $0 [-clients N] [-duration D]" >&2; exit 2 ;;
+    -gate)     gate=1; shift ;;
+    *) echo "usage: $0 [-clients N] [-duration D] [-gate]" >&2; exit 2 ;;
   esac
 done
 
@@ -114,13 +137,72 @@ echo "== faulted load ($clients clients, $duration)"
 echo "== graceful shutdown under chaos (SIGTERM)"
 stop_harassd "$faultlog"
 
-# Compose the two phases into one JSON document.
+shadow_rate=0.25
+
+echo "== start harassd -registry (lifecycle phases: swap latency + shadow overhead)"
+lclog="$workdir/harassd_lifecycle.log"
+start_harassd "$lclog" -registry "$workdir/registry"
+echo "   harassd at $addr (pid $pid)"
+
+echo "== commit generation 2 (feedback + retrain)"
+fb='['
+for i in $(seq 0 15); do
+  [[ $i -gt 0 ]] && fb+=','
+  fb+="{\"id\":\"benchfb-$i\",\"platform\":\"boards\",\"text\":\"keep reporting account $i until it is gone\",\"task\":\"cth\",\"label\":true}"
+done
+fb+=']'
+curl -sf -X POST "http://$addr/v1/feedback" -d "$fb" >/dev/null
+body=$(curl -sf -X POST "http://$addr/v1/admin/retrain" -d '{}')
+grep -q '"generation": *2' <<<"$body" || { echo "retrain did not commit generation 2: $body" >&2; exit 1; }
+curl -sf -X POST "http://$addr/v1/admin/shadow" -d '{"clear":true}' >/dev/null
+
+echo "== swap load ($clients clients, $duration; hot-swap to generation 2 mid-run)"
+"$workdir/loadgen" -addr "$addr" -clients "$clients" -duration "$duration" \
+  -fail-on-errors -out "$workdir/swap.json" &
+lgpid=$!
+sleep 2
+swapbody=$(curl -sf -X POST "http://$addr/v1/admin/swap" -d '{"generation":2}')
+swap_ns=$(sed -n 's/.*"swap_ns": *\([0-9][0-9]*\).*/\1/p' <<<"$swapbody")
+wait "$lgpid"
+[[ -n "$swap_ns" ]] || { echo "no swap_ns in admin response: $swapbody" >&2; exit 1; }
+echo "   fleet rotated onto generation 2 in ${swap_ns}ns"
+
+echo "== shadow load ($clients clients, $duration; generation 1 shadowing at rate $shadow_rate)"
+curl -sf -X POST "http://$addr/v1/admin/shadow" \
+  -d "{\"generation\":1,\"rate\":$shadow_rate}" >/dev/null
+"$workdir/loadgen" -addr "$addr" -clients "$clients" -duration "$duration" \
+  -fail-on-errors -out "$workdir/shadow.json"
+
+echo "== graceful shutdown of the lifecycle fleet (SIGTERM)"
+stop_harassd "$lclog"
+
+# Compose the phases into one JSON document.
 {
   printf '{\n"healthy": '
   cat "$workdir/healthy.json"
   printf ',\n"faulted": '
   cat "$workdir/faulted.json"
-  printf '}\n'
+  printf ',\n"swap": '
+  cat "$workdir/swap.json"
+  printf ',\n"shadow": '
+  cat "$workdir/shadow.json"
+  printf ',\n"swap_latency_ns": %s,\n"shadow_rate": %s\n}\n' "$swap_ns" "$shadow_rate"
 } > BENCH_serve.json
 
-echo "OK — BENCH_serve.json written (healthy + faulted)"
+if [[ $gate -eq 1 ]]; then
+  rps() { sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$1"; }
+  healthy_rps=$(rps "$workdir/healthy.json")
+  swap_rps=$(rps "$workdir/swap.json")
+  shadow_rps=$(rps "$workdir/shadow.json")
+  echo "== lifecycle gates (healthy $healthy_rps vs baseline $baseline_rps; shadow $shadow_rps vs swap $swap_rps)"
+  awk -v h="$healthy_rps" -v b="$baseline_rps" 'BEGIN { exit !(h >= 0.95 * b) }' || {
+    echo "GATE FAILED: healthy throughput $healthy_rps rps < 95% of pre-lifecycle baseline $baseline_rps rps" >&2
+    exit 1
+  }
+  awk -v s="$shadow_rps" -v w="$swap_rps" 'BEGIN { exit !(s >= 0.90 * w) }' || {
+    echo "GATE FAILED: shadow throughput $shadow_rps rps < 90% of no-shadow $swap_rps rps (overhead > 10%)" >&2
+    exit 1
+  }
+fi
+
+echo "OK — BENCH_serve.json written (healthy + faulted + swap + shadow)"

@@ -23,11 +23,12 @@ fi
 
 # The concurrent runtime (worker pool, chaos harness, streaming
 # scoring), the metrics core shared across its workers, the HTTP
-# serving layer coalescing requests onto that runtime, and the corpus
+# serving layer coalescing requests onto that runtime, the corpus
 # store (concurrent segment reads under Scan/Lookup, crash-recovery
-# reopen) must be race-clean, not just correct.
-echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/..."
-go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/...
+# reopen), and the model lifecycle (registry commits racing opens,
+# hot-swaps racing traffic) must be race-clean, not just correct.
+echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/... ./internal/registry/... ./internal/lifecycle/..."
+go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/... ./internal/registry/... ./internal/lifecycle/...
 
 # Allocation-regression gates: the scoring hot path (tokenize,
 # featurize, PII clean path, pooled detector scoring) and the obs
@@ -54,6 +55,12 @@ if [[ $fast -eq 0 ]]; then
   go test -run '^$' -fuzz '^FuzzSegmentDecode$' -fuzztime 10s ./internal/corpus/store/
   go test -run '^$' -fuzz '^FuzzPostingIterator$' -fuzztime 10s ./internal/corpus/store/
 
+  # Registry manifest fuzz smoke: every accepted manifest must
+  # re-encode to its canonical byte form (decode∘encode identity, the
+  # FuzzSegmentDecode contract for the model registry's root state).
+  echo "== registry manifest fuzz smoke (-fuzztime=10s)"
+  go test -run '^$' -fuzz '^FuzzRegistryManifest$' -fuzztime 10s ./internal/registry/
+
   # PII perf gate: pii/dense-dox must hold at least 3x over the
   # regex-cascade figure it replaced (58581.56 ns/op) and stay
   # allocation-free; catches engine performance regressions without
@@ -76,12 +83,14 @@ if [[ $fast -eq 0 ]]; then
   scripts/bench_pipeline.sh
 
   # Serving smoke + benchmark: harassd on an ephemeral port, endpoint
-  # curls, concurrent load in a healthy phase and a phase with 1 of 4
-  # shards continuously failing, and SIGTERMs that must drain to exit
-  # 0; both phases' throughput and latency percentiles land in
-  # BENCH_serve.json.
-  echo "== serving benchmark (BENCH_serve.json)"
-  scripts/bench_serve.sh
+  # curls, concurrent load in healthy / faulted (1 of 4 shards
+  # continuously failing) / hot-swap / shadow-scoring phases, and
+  # SIGTERMs that must drain to exit 0; all four phases' throughput and
+  # latency percentiles land in BENCH_serve.json, and -gate enforces
+  # the lifecycle costs: healthy steady-state within 5% of the
+  # pre-lifecycle baseline, shadow-scoring overhead at most 10% rps.
+  echo "== serving benchmark + lifecycle gates (BENCH_serve.json)"
+  scripts/bench_serve.sh -gate
 
   # Chaos certification against a live harassd: a deterministic seeded
   # fault plan (shard panics, stalls, latency spikes) must lose zero
@@ -89,6 +98,15 @@ if [[ $fast -eq 0 ]]; then
   # cleanly on SIGTERM.
   echo "== chaos-serve certification"
   scripts/chaos_serve.sh
+
+  # Hot-swap chaos certification: the in-process swap storm under
+  # -race (zero lost requests, every response scored wholly by one
+  # model generation — golden equality against both pure-generation
+  # runs), then a live harassd -registry swap storm under a fixed
+  # 320-request load that must lose nothing, be served by both
+  # generations, and drain cleanly.
+  echo "== hot-swap chaos certification"
+  scripts/chaos_swap.sh
 
   # Corpus-store benchmark + streaming-overhead gate: scan/lookup/append
   # throughput lands in BENCH_store.json, and ScoreStream fed from a
