@@ -1,20 +1,27 @@
 // Command benchstore measures the segmented corpus store end to end
-// and writes BENCH_store.json: sequential scan throughput (MB/s and
-// docs/sec), inverted-index lookup latency, incremental append
-// throughput, and the end-to-end cost of streaming the scoring
-// pipeline's input from the store instead of from memory.
+// and writes BENCH_store.json: sequential and parallel scan throughput
+// (MB/s and docs/sec), inverted-index lookup latency on both the mmap
+// and the buffered ReadAt read path, incremental append throughput,
+// a DefaultConfig-scale ingest+scan round trip, and the end-to-end
+// cost of streaming the scoring pipeline's input from the store
+// instead of from memory.
 //
 // Run via scripts/bench_store.sh. The store is built fresh in a temp
 // directory from the quick-scale synthetic corpora (seed 1), so the
 // numbers describe this machine and tree, not a committed baseline.
 //
-// Two flags support the CI gate in scripts/check.sh:
+// Gate flags support the CI checks in scripts/check.sh:
 //
-//	-store-only   skip pipeline training and measure only the raw
-//	              store entries (scan/lookup/append)
-//	-gate-stream  exit non-zero if store-streamed ScoreStream
-//	              throughput falls below 0.9x the in-memory run
-//	              (the store must cost at most 10% on the hot path)
+//	-store-only    skip pipeline training and measure only the raw
+//	               store entries (scan/lookup/append)
+//	-gate-stream   exit non-zero if store-streamed ScoreStream
+//	               throughput falls below 0.9x the in-memory run
+//	               (the store must cost at most 10% on the hot path)
+//	-gate-parallel exit non-zero if parallel scan falls below 2x the
+//	               sequential scan on machines with >= 4 cores
+//	               (loudly skipped on smaller machines, where segment
+//	               parallelism has nothing to fan over)
+//	-gate          all of the above
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -35,6 +43,16 @@ import (
 // must retain at least this fraction of the in-memory ScoreStream
 // throughput measured in the same invocation.
 const streamGateMinRatio = 0.9
+
+// parallelGateMinSpeedup is the -gate-parallel floor: ScanParallel at
+// GOMAXPROCS workers must beat the sequential Scan by at least this
+// factor — but only on machines with parallelGateMinCPUs cores or
+// more; below that the fan-out has nothing to run on and the gate
+// skips loudly instead of failing on hardware.
+const (
+	parallelGateMinSpeedup = 2.0
+	parallelGateMinCPUs    = 4
+)
 
 // metrics is one measured workload. MBPerSec is set only for entries
 // that stream a known byte volume per op (the sequential scan).
@@ -135,6 +153,31 @@ func gateStream(entries []entry) error {
 	return fmt.Errorf("stream gate: no store/score-stream entry measured (ran with -store-only?)")
 }
 
+// gateParallel enforces the parallel-scan floor on the
+// store/scan-parallel entry measured this run. On machines with fewer
+// than parallelGateMinCPUs cores the gate skips: segment decode
+// parallelism cannot beat sequential without cores to fan over.
+func gateParallel(entries []entry) error {
+	if n := runtime.NumCPU(); n < parallelGateMinCPUs {
+		fmt.Fprintf(os.Stderr, "benchstore: PARALLEL GATE SKIPPED: %d CPUs on this machine, gate requires >= %d to demand a %.1fx speedup\n",
+			n, parallelGateMinCPUs, parallelGateMinSpeedup)
+		return nil
+	}
+	for _, e := range entries {
+		if e.Name != "store/scan-parallel" {
+			continue
+		}
+		if e.Speedup < parallelGateMinSpeedup {
+			return fmt.Errorf("parallel scan is %.2fx the sequential scan, gate requires >= %.1fx on %d cores (parallel %.0f ns/op vs sequential %.0f ns/op)",
+				e.Speedup, parallelGateMinSpeedup, runtime.NumCPU(), e.Current.NsPerOp, e.Baseline.NsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "benchstore: parallel gate ok: scan at %.2fx sequential throughput (floor %.1fx)\n",
+			e.Speedup, parallelGateMinSpeedup)
+		return nil
+	}
+	return fmt.Errorf("parallel gate: no store/scan-parallel entry measured")
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchstore:", err)
 	os.Exit(1)
@@ -143,9 +186,15 @@ func fatal(err error) {
 func main() {
 	out := flag.String("out", "BENCH_store.json", "output file (empty: don't write)")
 	storeOnly := flag.Bool("store-only", false, "measure only scan/lookup/append (no pipeline training)")
-	gate := flag.Bool("gate-stream", false, "fail if store-streamed scoring drops below 0.9x in-memory throughput")
+	gateStreamFlag := flag.Bool("gate-stream", false, "fail if store-streamed scoring drops below 0.9x in-memory throughput")
+	gateParallelFlag := flag.Bool("gate-parallel", false, "fail if parallel scan drops below 2x sequential (skipped under 4 cores)")
+	gateAll := flag.Bool("gate", false, "enforce every gate (-gate-stream and -gate-parallel)")
 	flag.Parse()
-	if *gate && *storeOnly {
+	if *gateAll {
+		*gateStreamFlag = true
+		*gateParallelFlag = true
+	}
+	if *gateStreamFlag && *storeOnly {
 		fatal(fmt.Errorf("-gate-stream needs the stream entries; drop -store-only"))
 	}
 
@@ -170,7 +219,7 @@ func main() {
 		totalDocs, len(s.Segments()), float64(storeBytes)/(1<<20))
 
 	rep := report{
-		Description: "Segmented corpus store benchmarks: sequential Scan over every committed segment (checksum + decode of each record), inverted-index Lookup (posting iteration only) and LookupDocs (posting iteration + point decode of each match), incremental Append of 1000-document batches (fsynced segment + index + manifest commit per op), and the end-to-end streaming comparison — ScoreStream fed from a store Scan versus the same documents already in memory. The store is built fresh from the quick-scale synthetic corpora at seed 1, so entries describe this machine and tree. store/score-stream's baseline is the in-memory run from the same invocation: its speedup_vs_baseline is the direct streaming-overhead ratio and must stay >= 0.90 (<= 10% overhead, the scripts/check.sh gate).",
+		Description: "Segmented corpus store benchmarks: sequential Scan over every committed segment (checksum + decode of each record) and ScanParallel at GOMAXPROCS workers (its baseline is the same run's sequential scan, so speedup_vs_baseline is the fan-out factor; the scripts/check.sh -gate-parallel floor demands >= 2x on machines with >= 4 cores and skips below), inverted-index Lookup (posting iteration only) and LookupDocs (posting iteration + point decode of each match) on both the default read path (mmap where available) and the buffered ReadAt fallback (store/lookup-docs-buffered, baselined against the mapped run), incremental Append of 1000-document batches (fsynced segment + index + manifest commit per op), a DefaultConfig-scale ingest + parallel-scan round trip, and the end-to-end streaming comparison — ScoreStream fed from a store Scan versus the same documents already in memory. The store is built fresh from the quick-scale synthetic corpora at seed 1, so entries describe this machine and tree. store/score-stream's baseline is the in-memory run from the same invocation: its speedup_vs_baseline is the direct streaming-overhead ratio and must stay >= 0.90 (<= 10% overhead, the scripts/check.sh gate).",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		StoreDocs:   totalDocs,
@@ -178,7 +227,7 @@ func main() {
 		Segments:    len(s.Segments()),
 	}
 
-	rep.Entries = append(rep.Entries, measure("store/scan", totalDocs, storeBytes, nil, func(b *testing.B) {
+	scanEntry := measure("store/scan", totalDocs, storeBytes, nil, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			n := 0
@@ -193,6 +242,30 @@ func main() {
 				b.Fatalf("scan decoded %d docs, store has %d", n, totalDocs)
 			}
 		}
+	})
+	rep.Entries = append(rep.Entries, scanEntry)
+
+	// Parallel scan: segments decode concurrently on GOMAXPROCS workers
+	// while the consumer still observes store order. The baseline is the
+	// sequential scan from this same run, so speedup_vs_baseline is the
+	// direct fan-out factor (-gate-parallel's floor on >= 4 cores).
+	scanCur := scanEntry.Current
+	scanWorkers := runtime.GOMAXPROCS(0)
+	rep.Entries = append(rep.Entries, measure("store/scan-parallel", totalDocs, storeBytes, &scanCur, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := s.ScanParallel(scanWorkers, func(d *corpus.Document, _ store.DocRef) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != totalDocs {
+				b.Fatalf("parallel scan decoded %d docs, store has %d", n, totalDocs)
+			}
+		}
 	}))
 
 	// Index lookups use a planted-attack token ("mass", from the
@@ -204,22 +277,12 @@ func main() {
 	if matches == 0 {
 		fatal(fmt.Errorf("token %q has no matches in the benchmark store", token))
 	}
-	rep.Entries = append(rep.Entries,
-		measure("store/lookup", matches, 0, nil, func(b *testing.B) {
+	lookupDocsBench := func(target *store.Store) func(b *testing.B) {
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				n := 0
-				s.Lookup(token, func(store.DocRef) bool { n++; return true })
-				if n != matches {
-					b.Fatalf("lookup found %d matches, want %d", n, matches)
-				}
-			}
-		}),
-		measure("store/lookup-docs", matches, 0, nil, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				n := 0
-				err := s.LookupDocs(token, func(d *corpus.Document, _ store.DocRef) error {
+				err := target.LookupDocs(token, func(d *corpus.Document, _ store.DocRef) error {
 					n++
 					return nil
 				})
@@ -230,8 +293,32 @@ func main() {
 					b.Fatalf("lookup-docs decoded %d matches, want %d", n, matches)
 				}
 			}
-		}),
-	)
+		}
+	}
+	rep.Entries = append(rep.Entries, measure("store/lookup", matches, 0, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			s.Lookup(token, func(store.DocRef) bool { n++; return true })
+			if n != matches {
+				b.Fatalf("lookup found %d matches, want %d", n, matches)
+			}
+		}
+	}))
+	lookupDocsEntry := measure("store/lookup-docs", matches, 0, nil, lookupDocsBench(s))
+	rep.Entries = append(rep.Entries, lookupDocsEntry)
+
+	// The same point lookups on the buffered ReadAt read path (the
+	// portable fallback and the OpenOptions.NoMmap escape hatch): the
+	// baseline is the default (mmap where available) run above, so
+	// speedup_vs_baseline is the buffered-vs-mapped latency ratio.
+	buffered, err := store.OpenWith(dir+"/corpus-store", store.OpenOptions{NoMmap: true})
+	if err != nil {
+		fatal(err)
+	}
+	defer buffered.Close()
+	lookupDocsCur := lookupDocsEntry.Current
+	rep.Entries = append(rep.Entries, measure("store/lookup-docs-buffered", matches, 0, &lookupDocsCur, lookupDocsBench(buffered)))
 
 	// Incremental append: each op commits one 1000-document segment
 	// (write + fsync of segment, index and manifest) into a growing
@@ -260,6 +347,7 @@ func main() {
 	}))
 
 	if !*storeOnly {
+		rep.Entries = append(rep.Entries, defaultScaleEntry(dir))
 		rep.Entries = append(rep.Entries, streamEntries(s, totalDocs)...)
 	}
 
@@ -277,11 +365,77 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchstore: wrote %s\n", *out)
 	}
-	if *gate {
+	if *gateStreamFlag {
 		if err := gateStream(rep.Entries); err != nil {
 			fatal(err)
 		}
 	}
+	if *gateParallelFlag {
+		if err := gateParallel(rep.Entries); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// defaultScaleEntry measures the DefaultConfig-shape round trip: one
+// op ingests the full default-scale corpora into a fresh store
+// (fsynced segments, indexes and manifest commits at the
+// DefaultSegmentDocs chunking) and parallel-scans every record back —
+// the `corpusgen -store` + store-streamed-pipeline lifecycle at the
+// paper's reproduction scale.
+func defaultScaleEntry(scratch string) entry {
+	fmt.Fprintln(os.Stderr, "benchstore: generating default-scale corpora (one-time setup)...")
+	cfg := harassrepro.DefaultConfig(1)
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed:          cfg.Seed,
+		VolumeScale:   cfg.VolumeScale,
+		PositiveScale: cfg.PositiveScale,
+	})
+	corpora := gen.Generate()
+	blogs := gen.GenerateBlogs(corpus.DefaultBlogSpecs(cfg.BlogScale))
+	workers := runtime.GOMAXPROCS(0)
+	sdir := filepath.Join(scratch, "default-store")
+	buildAndScan := func() (int, int64, error) {
+		if err := os.RemoveAll(sdir); err != nil {
+			return 0, 0, err
+		}
+		st, err := store.Create(sdir)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := store.WriteCorpora(st, corpora, blogs, 0); err != nil {
+			st.Close()
+			return 0, 0, err
+		}
+		var bytes int64
+		for _, si := range st.Segments() {
+			bytes += si.SegBytes + si.IdxBytes
+		}
+		n := 0
+		if err := st.ScanParallel(workers, func(*corpus.Document, store.DocRef) error { n++; return nil }); err != nil {
+			st.Close()
+			return 0, 0, err
+		}
+		return n, bytes, st.Close()
+	}
+	// One untimed round trip learns the store's shape for the report.
+	docs, bytes, err := buildAndScan()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchstore: default-scale store: %d docs, %.1f MiB\n", docs, float64(bytes)/(1<<20))
+	return measure("store/default-ingest-scan", docs, bytes, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, _, err := buildAndScan()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != docs {
+				b.Fatalf("round trip scanned %d docs, want %d", n, docs)
+			}
+		}
+	})
 }
 
 // streamEntries trains the quick-scale detector once and measures

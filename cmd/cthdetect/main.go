@@ -22,15 +22,18 @@
 //
 // With -store, documents are streamed from a segmented corpus store
 // (built by corpusgen -store) instead of stdin — one segment at a time,
-// so memory stays bounded; -token restricts the stream to the store's
-// inverted-index matches. Comma-separated terms intersect (AND): a
-// document must match every one, e.g. -token "mass,report" or
-// -token "dataset:boards,raid".
+// so memory stays bounded; -scan-workers N decodes segments in
+// parallel through the store's mmap readers (output order is identical
+// at any count). -token restricts the stream to the store's
+// inverted-index matches with boolean syntax: comma-separated clauses
+// AND, |-separated alternatives within a clause OR, and a -term clause
+// excludes matches — e.g. -token "dataset:boards,raid" or
+// -token "dox|doxx,-paste".
 //
 // Usage:
 //
 //	echo "we should mass report his channel" | cthdetect [-seed N] [-rules-only] [-workers N] [-metrics] [-metrics-addr :9090] [-max-doc-bytes N]
-//	cthdetect -store DIR [-token mass,report] [-rules-only] ...
+//	cthdetect -store DIR [-scan-workers N] [-token "dox|doxx,-paste"] [-rules-only] ...
 package main
 
 import (
@@ -98,11 +101,15 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		maxDocBytes = flag.Int("max-doc-bytes", 0, "dead-letter lines longer than this many bytes (0 = no limit)")
 		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin")
-		storeToken  = flag.String("token", "", "with -store: score only documents whose inverted index matches every comma-separated token (AND)")
+		storeToken  = flag.String("token", "", "with -store: score only inverted-index matches; clauses AND on commas, OR on |, -term excludes")
+		scanWorkers = flag.Int("scan-workers", 0, "with -store: segment decode parallelism for full scans (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *storeToken != "" && *storeDir == "" {
 		fail("-token requires -store")
+	}
+	if *scanWorkers != 0 && *storeDir == "" {
+		fail("-scan-workers requires -store")
 	}
 
 	var reg *obs.Registry
@@ -221,7 +228,7 @@ func main() {
 	go func() {
 		defer close(in)
 		if *storeDir != "" {
-			scanErr <- feedFromStore(*storeDir, *storeToken, in)
+			scanErr <- feedFromStore(*storeDir, *storeToken, *scanWorkers, in)
 			return
 		}
 		scan := bufio.NewScanner(os.Stdin)
@@ -281,24 +288,14 @@ func main() {
 	exit(0)
 }
 
-// splitTokens parses a -token value: comma-separated terms, blanks
-// dropped. Multiple terms mean AND — a document must match every one.
-func splitTokens(spec string) []string {
-	var tokens []string
-	for _, t := range strings.Split(spec, ",") {
-		if t = strings.TrimSpace(t); t != "" {
-			tokens = append(tokens, t)
-		}
-	}
-	return tokens
-}
-
 // feedFromStore streams document texts out of a segmented corpus store
-// — the whole store in commit order, or just the documents whose
-// inverted index matches every comma-separated term in token (posting
-// bitmaps intersected per segment). Documents are decoded one segment
-// at a time, so memory stays bounded regardless of store size.
-func feedFromStore(dir, token string, in chan<- row) error {
+// — the whole store in commit order (segments decoded in parallel when
+// scanWorkers allows; delivery order is store order regardless), or
+// just the documents matching the boolean token query (posting bitmaps
+// combined per segment, see store.ParseQuery). Documents are decoded
+// one segment at a time, so memory stays bounded regardless of store
+// size.
+func feedFromStore(dir, token string, scanWorkers int, in chan<- row) error {
 	s, err := store.Open(dir)
 	if err != nil {
 		return err
@@ -314,10 +311,14 @@ func feedFromStore(dir, token string, in chan<- row) error {
 		}
 		return nil
 	}
-	if tokens := splitTokens(token); len(tokens) > 0 {
-		return s.LookupAllDocs(tokens, emit)
+	if strings.TrimSpace(token) != "" {
+		q, err := store.ParseQuery(token)
+		if err != nil {
+			return err
+		}
+		return s.LookupQueryDocs(q, emit)
 	}
-	return s.Scan(emit)
+	return s.ScanParallel(scanWorkers, emit)
 }
 
 // chMutex is a channel-based optional mutex: the zero value (nil) is a

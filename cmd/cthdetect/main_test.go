@@ -15,32 +15,31 @@ import (
 	"strings"
 	"testing"
 
+	"harassrepro/internal/corpus/store"
 	"harassrepro/internal/obs"
 )
 
 var summaryRe = regexp.MustCompile(`processed=(\d+) succeeded=(\d+) degraded=(\d+) quarantined=(\d+)`)
 
-func TestSplitTokens(t *testing.T) {
-	cases := []struct {
-		in   string
-		want []string
-	}{
-		{"", nil},
-		{"mass", []string{"mass"}},
-		{"mass,report", []string{"mass", "report"}},
-		{" mass , report ,", []string{"mass", "report"}},
-		{",,", nil},
-		{"dataset:boards, raid", []string{"dataset:boards", "raid"}},
-	}
-	for _, c := range cases {
-		got := splitTokens(c.in)
-		if len(got) != len(c.want) {
-			t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+// TestTokenQuerySyntax pins the -token surface syntax the flag help
+// promises: AND on commas, OR on |, -term exclusion, and the error
+// cases (pure negation, negation inside an OR group).
+func TestTokenQuerySyntax(t *testing.T) {
+	for _, spec := range []string{
+		"mass",
+		"mass,report",
+		" mass , report ,",
+		"dataset:boards, raid",
+		"mass|raid,report",
+		"mass,-paste",
+	} {
+		if q, err := store.ParseQuery(spec); err != nil || q == nil {
+			t.Fatalf("ParseQuery(%q) = %v, %v", spec, q, err)
 		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
-			}
+	}
+	for _, spec := range []string{"", ",,", "-paste", "mass|-raid"} {
+		if _, err := store.ParseQuery(spec); err == nil {
+			t.Fatalf("ParseQuery(%q) succeeded, want error", spec)
 		}
 	}
 }

@@ -48,11 +48,15 @@
 // /v1/feedback and /v1/admin. -auto-retrain retrains in the background
 // once enough feedback buffers; -shadow-rate sets the live-traffic
 // fraction a committed candidate shadow-scores before promotion.
+// -replay-store points retrains at a segmented corpus store (corpusgen
+// -store) so each round's training seed also replays historical
+// documents at store scan speed; -replay-limit caps how many.
 //
 // Usage:
 //
 //	harassd [-addr :8712] [-models DIR] [-scale quick|default] [-seed N]
 //	        [-registry DIR] [-shadow-rate F] [-auto-retrain]
+//	        [-replay-store DIR] [-replay-limit N]
 //	        [-shards N] [-workers N] [-max-inflight N] [-queue-depth N]
 //	        [-max-batch-docs N] [-request-timeout D] [-drain-timeout D]
 //	        [-chaos PLAN] [-no-annotate] [-metrics]
@@ -89,6 +93,8 @@ func main() {
 		registryDir    = flag.String("registry", "", "versioned model registry directory: serve the active generation and enable /v1/feedback + /v1/admin")
 		shadowRate     = flag.Float64("shadow-rate", 0.25, "live-traffic fraction a retrained candidate shadow-scores (with -registry)")
 		autoRetrain    = flag.Bool("auto-retrain", false, "retrain in the background once enough feedback buffers (with -registry)")
+		replayStore    = flag.String("replay-store", "", "segmented corpus store whose historical documents augment every retrain (with -registry)")
+		replayLimit    = flag.Int("replay-limit", 0, "cap on replayed store documents per retrain (0 = default 256)")
 		seed           = flag.Uint64("seed", 1, "training and span-sampling seed")
 		shards         = flag.Int("shards", 0, "independent supervised scoring shards (0 = min(GOMAXPROCS, 8))")
 		workers        = flag.Int("workers", 0, "scoring worker pool size, divided across shards (0 = GOMAXPROCS)")
@@ -104,6 +110,10 @@ func main() {
 		metrics        = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
+
+	if *replayStore != "" && *registryDir == "" {
+		fail("-replay-store requires -registry")
+	}
 
 	faults, err := chaos.ParseServePlan(*chaosPlan)
 	if err != nil {
@@ -162,10 +172,12 @@ func main() {
 			fail("%v", err)
 		}
 		mgr, err = lifecycle.New(lifecycle.Config{
-			Registry:    mreg,
-			Seed:        *seed,
-			AutoRetrain: *autoRetrain,
-			ShadowRate:  *shadowRate,
+			Registry:        mreg,
+			Seed:            *seed,
+			AutoRetrain:     *autoRetrain,
+			ShadowRate:      *shadowRate,
+			ReplayStorePath: *replayStore,
+			ReplayLimit:     *replayLimit,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "harassd: "+format+"\n", args...)
 			},

@@ -16,15 +16,19 @@
 //
 // With -store, documents are streamed from a segmented corpus store
 // (built by corpusgen -store) instead of stdin, one segment at a time;
-// -token restricts the stream to the store's inverted-index matches;
-// comma-separated terms intersect (AND), so -token "paste,email" only
-// scans documents matching both. -store implies -stream.
+// -scan-workers N decodes segments in parallel through the store's
+// mmap readers (output order is identical at any count). -token
+// restricts the stream to the store's inverted-index matches with
+// boolean syntax: comma-separated clauses AND, |-separated
+// alternatives OR, and a -term clause excludes — so
+// -token "paste,email|phone" scans paste documents with an email or a
+// phone number. -store implies -stream.
 //
 // Usage:
 //
 //	piiscan [-json] [-metrics] < document.txt
 //	piiscan -stream [-json] [-workers N] [-metrics] [-metrics-addr :9090] < documents.txt
-//	piiscan -store DIR [-token paste,email] [-json] [-workers N]
+//	piiscan -store DIR [-scan-workers N] [-token "paste,email|phone"] [-json] [-workers N]
 package main
 
 import (
@@ -83,11 +87,15 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		storeDir    = flag.String("store", "", "stream documents from the segmented corpus store at this directory instead of stdin (implies -stream)")
-		storeToken  = flag.String("token", "", "with -store: scan only documents whose inverted index matches every comma-separated token (AND)")
+		storeToken  = flag.String("token", "", "with -store: scan only inverted-index matches; clauses AND on commas, OR on |, -term excludes")
+		scanWorkers = flag.Int("scan-workers", 0, "with -store: segment decode parallelism for full scans (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *storeToken != "" && *storeDir == "" {
 		fail("-token requires -store")
+	}
+	if *scanWorkers != 0 && *storeDir == "" {
+		fail("-scan-workers requires -store")
 	}
 	if *storeDir != "" {
 		*stream = true
@@ -108,7 +116,7 @@ func main() {
 	}
 
 	if *stream {
-		runStream(*jsonOut, *workers, reg, *storeDir, *storeToken)
+		runStream(*jsonOut, *workers, reg, *storeDir, *storeToken, *scanWorkers)
 		dumpMetrics(*metrics, reg)
 		exit(0)
 	}
@@ -201,7 +209,7 @@ func printScan(s *scan) {
 
 // runStream processes one document per line (or per store record) on
 // the resilience runtime.
-func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToken string) {
+func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToken string, scanWorkers int) {
 	runner := resilience.NewRunner(resilience.Config[scan]{
 		Workers: workers,
 		Ordered: true,
@@ -226,7 +234,7 @@ func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToke
 	go func() {
 		defer close(in)
 		if storeDir != "" {
-			scanErr <- feedFromStore(storeDir, storeToken, in)
+			scanErr <- feedFromStore(storeDir, storeToken, scanWorkers, in)
 			return
 		}
 		sc := bufio.NewScanner(os.Stdin)
@@ -272,24 +280,13 @@ func runStream(jsonOut bool, workers int, reg *obs.Registry, storeDir, storeToke
 	}
 }
 
-// splitTokens parses a -token value: comma-separated terms, blanks
-// dropped. Multiple terms mean AND — a document must match every one.
-func splitTokens(spec string) []string {
-	var tokens []string
-	for _, t := range strings.Split(spec, ",") {
-		if t = strings.TrimSpace(t); t != "" {
-			tokens = append(tokens, t)
-		}
-	}
-	return tokens
-}
-
 // feedFromStore streams document texts out of a segmented corpus
-// store, whole or restricted to the documents whose inverted index
-// matches every comma-separated term in token (posting bitmaps
-// intersected per segment), decoding one segment at a time so memory
+// store, whole (segments decoded in parallel when scanWorkers allows;
+// delivery order is store order regardless) or restricted to the
+// boolean token query's matches (posting bitmaps combined per segment,
+// see store.ParseQuery), decoding one segment at a time so memory
 // stays bounded.
-func feedFromStore(dir, token string, in chan<- scan) error {
+func feedFromStore(dir, token string, scanWorkers int, in chan<- scan) error {
 	s, err := store.Open(dir)
 	if err != nil {
 		return err
@@ -305,8 +302,12 @@ func feedFromStore(dir, token string, in chan<- scan) error {
 		}
 		return nil
 	}
-	if tokens := splitTokens(token); len(tokens) > 0 {
-		return s.LookupAllDocs(tokens, emit)
+	if strings.TrimSpace(token) != "" {
+		q, err := store.ParseQuery(token)
+		if err != nil {
+			return err
+		}
+		return s.LookupQueryDocs(q, emit)
 	}
-	return s.Scan(emit)
+	return s.ScanParallel(scanWorkers, emit)
 }

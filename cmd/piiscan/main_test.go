@@ -1,28 +1,30 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestSplitTokens(t *testing.T) {
-	cases := []struct {
-		in   string
-		want []string
-	}{
-		{"", nil},
-		{"paste", []string{"paste"}},
-		{"paste,email", []string{"paste", "email"}},
-		{" paste , email ,", []string{"paste", "email"}},
-		{",,", nil},
-		{"platform:gab, dox", []string{"platform:gab", "dox"}},
-	}
-	for _, c := range cases {
-		got := splitTokens(c.in)
-		if len(got) != len(c.want) {
-			t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
+	"harassrepro/internal/corpus/store"
+)
+
+// TestTokenQuerySyntax pins the -token surface syntax the flag help
+// promises: AND on commas, OR on |, -term exclusion, and the error
+// cases (pure negation, negation inside an OR group).
+func TestTokenQuerySyntax(t *testing.T) {
+	for _, spec := range []string{
+		"paste",
+		"paste,email",
+		" paste , email ,",
+		"platform:gab, dox",
+		"email|phone,paste",
+		"paste,-email",
+	} {
+		if q, err := store.ParseQuery(spec); err != nil || q == nil {
+			t.Fatalf("ParseQuery(%q) = %v, %v", spec, q, err)
 		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Fatalf("splitTokens(%q) = %v, want %v", c.in, got, c.want)
-			}
+	}
+	for _, spec := range []string{"", ",,", "-paste", "email|-phone"} {
+		if _, err := store.ParseQuery(spec); err == nil {
+			t.Fatalf("ParseQuery(%q) succeeded, want error", spec)
 		}
 	}
 }

@@ -197,6 +197,202 @@ func andContainers(a, b *container) (container, bool) {
 	}
 }
 
+// Or returns the union of b and o as a new bitmap. Containers are
+// walked pairwise by key like And; unmatched containers are cloned
+// into the result (never aliased — the operands stay immutable), and a
+// merged container that outgrows arrayMax converts to a bitmap
+// container exactly as Add would.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	out := &Bitmap{}
+	if b == nil {
+		b = &Bitmap{}
+	}
+	if o == nil {
+		o = &Bitmap{}
+	}
+	i, j := 0, 0
+	for i < len(b.containers) || j < len(o.containers) {
+		switch {
+		case j >= len(o.containers) || (i < len(b.containers) && b.containers[i].key < o.containers[j].key):
+			out.containers = append(out.containers, cloneContainer(&b.containers[i]))
+			i++
+		case i >= len(b.containers) || o.containers[j].key < b.containers[i].key:
+			out.containers = append(out.containers, cloneContainer(&o.containers[j]))
+			j++
+		default:
+			out.containers = append(out.containers, orContainers(&b.containers[i], &o.containers[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// orContainers unions two containers sharing a key. The union of two
+// non-empty containers is never empty, so there is no ok flag.
+func orContainers(a, b *container) container {
+	if a.bits == nil && b.bits == nil {
+		arr := make([]uint16, 0, len(a.array)+len(b.array))
+		i, j := 0, 0
+		for i < len(a.array) && j < len(b.array) {
+			switch {
+			case a.array[i] < b.array[j]:
+				arr = append(arr, a.array[i])
+				i++
+			case a.array[i] > b.array[j]:
+				arr = append(arr, b.array[j])
+				j++
+			default:
+				arr = append(arr, a.array[i])
+				i++
+				j++
+			}
+		}
+		arr = append(arr, a.array[i:]...)
+		arr = append(arr, b.array[j:]...)
+		if len(arr) <= arrayMax {
+			return container{key: a.key, array: arr}
+		}
+		words := make([]uint64, bitmapWords)
+		for _, low := range arr {
+			words[low/64] |= uint64(1) << (low % 64)
+		}
+		return container{key: a.key, bits: words, n: len(arr)}
+	}
+	words := make([]uint64, bitmapWords)
+	for _, c := range []*container{a, b} {
+		if c.bits != nil {
+			for w, word := range c.bits {
+				words[w] |= word
+			}
+			continue
+		}
+		for _, low := range c.array {
+			words[low/64] |= uint64(1) << (low % 64)
+		}
+	}
+	n := 0
+	for _, word := range words {
+		n += bits.OnesCount64(word)
+	}
+	return packContainer(a.key, words, n)
+}
+
+// AndNot returns the values of b not present in o, as a new bitmap.
+// Containers unmatched in o are cloned through; matched pairs subtract
+// with the cheapest pairing and collapse to an array container when
+// the survivor count fits. Neither operand is modified.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	out := &Bitmap{}
+	if b == nil {
+		return out
+	}
+	if o == nil {
+		o = &Bitmap{}
+	}
+	j := 0
+	for i := range b.containers {
+		ca := &b.containers[i]
+		for j < len(o.containers) && o.containers[j].key < ca.key {
+			j++
+		}
+		if j >= len(o.containers) || o.containers[j].key != ca.key {
+			out.containers = append(out.containers, cloneContainer(ca))
+			continue
+		}
+		if c, ok := andNotContainers(ca, &o.containers[j]); ok {
+			out.containers = append(out.containers, c)
+		}
+	}
+	return out
+}
+
+// andNotContainers computes a minus b for two containers sharing a
+// key, reporting ok=false when nothing survives.
+func andNotContainers(a, b *container) (container, bool) {
+	switch {
+	case a.bits == nil && b.bits == nil:
+		var arr []uint16
+		j := 0
+		for _, low := range a.array {
+			for j < len(b.array) && b.array[j] < low {
+				j++
+			}
+			if j < len(b.array) && b.array[j] == low {
+				continue
+			}
+			arr = append(arr, low)
+		}
+		if len(arr) == 0 {
+			return container{}, false
+		}
+		return container{key: a.key, array: arr}, true
+	case a.bits == nil:
+		var arr []uint16
+		for _, low := range a.array {
+			if b.bits[low/64]&(uint64(1)<<(low%64)) == 0 {
+				arr = append(arr, low)
+			}
+		}
+		if len(arr) == 0 {
+			return container{}, false
+		}
+		return container{key: a.key, array: arr}, true
+	default:
+		words := make([]uint64, bitmapWords)
+		copy(words, a.bits)
+		if b.bits != nil {
+			for w, word := range b.bits {
+				words[w] &^= word
+			}
+		} else {
+			for _, low := range b.array {
+				words[low/64] &^= uint64(1) << (low % 64)
+			}
+		}
+		n := 0
+		for _, word := range words {
+			n += bits.OnesCount64(word)
+		}
+		if n == 0 {
+			return container{}, false
+		}
+		return packContainer(a.key, words, n), true
+	}
+}
+
+// packContainer wraps a populated word set as a container, collapsing
+// to the array form when the cardinality fits (the invariant Add and
+// andContainers maintain, kept here so equal sets always have equal
+// representations).
+func packContainer(key uint16, words []uint64, n int) container {
+	if n > arrayMax {
+		return container{key: key, bits: words, n: n}
+	}
+	arr := make([]uint16, 0, n)
+	for w, word := range words {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			arr = append(arr, uint16(w*64+t))
+			word &^= 1 << t
+		}
+	}
+	return container{key: key, array: arr}
+}
+
+// cloneContainer deep-copies a container so results never alias an
+// operand's storage.
+func cloneContainer(c *container) container {
+	out := container{key: c.key, n: c.n}
+	if c.bits != nil {
+		out.bits = make([]uint64, bitmapWords)
+		copy(out.bits, c.bits)
+		return out
+	}
+	out.array = append([]uint16(nil), c.array...)
+	return out
+}
+
 // Iterate calls fn for every set value in ascending order, stopping if
 // fn returns false.
 func (b *Bitmap) Iterate(fn func(v uint32) bool) {

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// naiveOr unions via Contains-free merge: collect both sides, sort,
+// dedup — the trivially-correct oracle.
+func naiveOr(a, b *Bitmap) []uint32 {
+	out := append(values(a), values(b)...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	if len(dedup) == 0 {
+		return nil
+	}
+	return dedup
+}
+
+// naiveAndNot keeps a's values absent from b, via the Contains oracle.
+func naiveAndNot(a, b *Bitmap) []uint32 {
+	var out []uint32
+	a.Iterate(func(v uint32) bool {
+		if !b.Contains(v) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// scribble overwrites every word and array slot of b's containers,
+// exposing any storage shared with an operand.
+func scribble(b *Bitmap) {
+	for i := range b.containers {
+		c := &b.containers[i]
+		for w := range c.bits {
+			c.bits[w] = ^uint64(0)
+		}
+		for k := range c.array {
+			c.array[k] = 0xFFFF
+		}
+	}
+}
+
+// booleanCases crosses sparse (array) and dense (bitmap) containers in
+// every pairing, plus disjoint key ranges and empty operands — the same
+// grid TestBitmapAndDifferential walks for And.
+func booleanCases() []struct {
+	name string
+	a, b *Bitmap
+} {
+	rng := rand.New(rand.NewSource(43))
+	build := func(n int, span, offset uint32) *Bitmap {
+		b := &Bitmap{}
+		for i := 0; i < n; i++ {
+			b.Add(offset + rng.Uint32()%span)
+		}
+		return b
+	}
+	return []struct {
+		name string
+		a, b *Bitmap
+	}{
+		{"array-array", build(500, 1<<17, 0), build(500, 1<<17, 0)},
+		{"array-bitmap", build(500, 1<<16, 0), build(20000, 1<<16, 0)},
+		{"bitmap-array", build(20000, 1<<16, 0), build(500, 1<<16, 0)},
+		{"bitmap-bitmap", build(20000, 1<<16, 0), build(20000, 1<<16, 0)},
+		{"disjoint-keys", build(500, 1<<16, 0), build(500, 1<<16, 1<<20)},
+		{"empty-side", build(500, 1<<16, 0), &Bitmap{}},
+		{"multi-container", build(3000, 1<<19, 0), build(3000, 1<<19, 1<<16)},
+	}
+}
+
+func TestBitmapOrDifferential(t *testing.T) {
+	for _, tc := range booleanCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want := naiveOr(tc.a, tc.b)
+			got := values(tc.a.Or(tc.b))
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("Or: got %d values, want %d", len(got), len(want))
+			}
+			// Commutes.
+			rev := values(tc.b.Or(tc.a))
+			if !reflect.DeepEqual(want, rev) {
+				t.Fatalf("Or is not commutative: %d vs %d values", len(rev), len(want))
+			}
+			// Operands untouched.
+			if c := tc.a.Cardinality(); len(values(tc.a)) != c {
+				t.Fatal("left operand mutated")
+			}
+			if c := tc.b.Cardinality(); len(values(tc.b)) != c {
+				t.Fatal("right operand mutated")
+			}
+			// Result supports Contains (container invariants hold).
+			res := tc.a.Or(tc.b)
+			for _, v := range want {
+				if !res.Contains(v) {
+					t.Fatalf("result missing %d", v)
+				}
+			}
+			// Result is detached from its operands: scribbling over its
+			// storage must not change them (posting bitmaps are shared
+			// across concurrent queries, so aliasing would be a data
+			// race).
+			wantA, wantB := values(tc.a), values(tc.b)
+			scribble(res)
+			if !reflect.DeepEqual(wantA, values(tc.a)) || !reflect.DeepEqual(wantB, values(tc.b)) {
+				t.Fatal("result aliases an operand's storage")
+			}
+		})
+	}
+	if got := values((&Bitmap{}).Or(nil)); got != nil {
+		t.Fatalf("empty Or nil = %v, want empty", got)
+	}
+	var nilb *Bitmap
+	if got := values(nilb.Or(nil)); got != nil {
+		t.Fatalf("nil Or nil = %v, want empty", got)
+	}
+}
+
+func TestBitmapAndNotDifferential(t *testing.T) {
+	for _, tc := range booleanCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want := naiveAndNot(tc.a, tc.b)
+			got := values(tc.a.AndNot(tc.b))
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("AndNot: got %d values, want %d", len(got), len(want))
+			}
+			// Both directions (AndNot does not commute; each is checked
+			// against its own oracle).
+			wantRev := naiveAndNot(tc.b, tc.a)
+			gotRev := values(tc.b.AndNot(tc.a))
+			if !reflect.DeepEqual(wantRev, gotRev) {
+				t.Fatalf("reverse AndNot: got %d values, want %d", len(gotRev), len(wantRev))
+			}
+			// Operands untouched.
+			if c := tc.a.Cardinality(); len(values(tc.a)) != c {
+				t.Fatal("left operand mutated")
+			}
+			if c := tc.b.Cardinality(); len(values(tc.b)) != c {
+				t.Fatal("right operand mutated")
+			}
+			// Identity: (a AndNot b) Or (a And b) == a.
+			recon := values(tc.a.AndNot(tc.b).Or(tc.a.And(tc.b)))
+			if !reflect.DeepEqual(values(tc.a), recon) {
+				t.Fatal("AndNot/And decomposition does not reconstruct the operand")
+			}
+			res := tc.a.AndNot(tc.b)
+			for _, v := range want {
+				if !res.Contains(v) {
+					t.Fatalf("result missing %d", v)
+				}
+			}
+			wantA, wantB := values(tc.a), values(tc.b)
+			scribble(res)
+			if !reflect.DeepEqual(wantA, values(tc.a)) || !reflect.DeepEqual(wantB, values(tc.b)) {
+				t.Fatal("result aliases an operand's storage")
+			}
+		})
+	}
+	var nilb *Bitmap
+	if got := values(nilb.AndNot(&Bitmap{})); got != nil {
+		t.Fatalf("nil AndNot = %v, want empty", got)
+	}
+	if got := values((&Bitmap{}).AndNot(nil)); got != nil {
+		t.Fatalf("empty AndNot nil = %v, want empty", got)
+	}
+}
+
+// TestBitmapOrAndNotContainerKinds pins the density transitions: a
+// union crossing arrayMax must promote to a bitmap container, and a
+// subtraction shrinking a dense container below arrayMax must collapse
+// back to an array.
+func TestBitmapOrAndNotContainerKinds(t *testing.T) {
+	a, b := &Bitmap{}, &Bitmap{}
+	for v := uint32(0); v < 3000; v++ {
+		a.Add(v)
+		b.Add(v + 3000) // disjoint: union = 6000 > arrayMax
+	}
+	res := a.Or(b)
+	if n := res.Cardinality(); n != 6000 {
+		t.Fatalf("union cardinality = %d, want 6000", n)
+	}
+	if res.containers[0].bits == nil {
+		t.Fatal("6000-value union kept an array container")
+	}
+	// Small union stays an array.
+	small := &Bitmap{}
+	for v := uint32(0); v < 100; v++ {
+		small.Add(v + 10000)
+	}
+	res = small.Or(small)
+	if res.containers[0].bits != nil {
+		t.Fatal("100-value union promoted to a bitmap container")
+	}
+
+	// Dense minus dense leaving a sparse remainder collapses to array.
+	c, d := &Bitmap{}, &Bitmap{}
+	for v := uint32(0); v < 10000; v++ {
+		c.Add(v)
+		if v >= 500 {
+			d.Add(v)
+		}
+	}
+	res = c.AndNot(d) // remainder [0,500) = 500 <= arrayMax
+	if n := res.Cardinality(); n != 500 {
+		t.Fatalf("difference cardinality = %d, want 500", n)
+	}
+	if res.containers[0].bits != nil {
+		t.Fatal("500-value difference kept a bitmap container")
+	}
+	// Total subtraction drops the container entirely.
+	res = c.AndNot(c)
+	if len(res.containers) != 0 {
+		t.Fatalf("self-subtraction left %d containers", len(res.containers))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// openMmapReader on platforms without a memory-map syscall surface:
+// always defer to the portable ReadAt fallback.
+func openMmapReader(path string, committed int64) (segReader, error) {
+	return nil, errNoMmap
+}

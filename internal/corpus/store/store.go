@@ -23,6 +23,16 @@
 // checksum-verified on every read; damage there is reported as a
 // *CorruptError, never a silent short read.
 //
+// Reads go through per-segment readers bounded to the manifest's
+// committed extent (reader.go): a read-only mmap where the platform has
+// one, a ReadAt fallback elsewhere. Because readers never see past
+// SegBytes, scans and lookups are safe concurrently with a live
+// appender — the in-progress tail of the next commit is invisible.
+// Scan streams in store order; ScanParallel (parallel.go) decodes
+// segments concurrently and merges back to store order; Lookup* answer
+// token queries from the posting bitmaps, including OR/NOT boolean
+// combinations (query.go).
+//
 // The manifest generation counter increments on every commit; pipeline
 // memoization keys incorporate it, so cached artifacts invalidate when
 // segments are appended (see core.Options.StorePath).
@@ -112,17 +122,33 @@ type DocRef struct {
 	Ordinal uint32
 }
 
-// Store is an open corpus store. One process may append at a time;
-// reads (Scan, Lookup, Doc) are safe concurrently with each other but
-// not with Append.
+// Store is an open corpus store. One goroutine may append at a time;
+// reads (Scan, ScanParallel, Lookup*, Doc) are safe concurrently with
+// each other and with the appender — a reader only ever sees segments
+// the manifest had committed when the read began.
 type Store struct {
 	dir      string
-	man      manifest
-	indexes  []*segIndex
 	recovery RecoveryReport
+	noMmap   bool
 
-	mu    sync.Mutex
-	files []*os.File // lazily opened segment files for Doc reads
+	// mu guards the committed view (man, indexes), the reader cache,
+	// and the closed flag. Readers snapshot the slices under mu and
+	// then work lock-free: Append publishes a fresh Segments slice and
+	// only ever appends to indexes/readers, so a snapshot's prefix is
+	// immutable.
+	mu      sync.Mutex
+	man     manifest
+	indexes []*segIndex
+	readers []*segHandle
+	closed  bool
+}
+
+// OpenOptions tunes how a store is opened.
+type OpenOptions struct {
+	// NoMmap forces the portable ReadAt segment readers even where
+	// mmap is available — the escape hatch for odd filesystems and the
+	// control arm of the mmap-vs-buffered benchmarks.
+	NoMmap bool
 }
 
 // Create initializes an empty store in dir (created if missing). It
@@ -135,7 +161,7 @@ func Create(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %s already holds a store", dir)
 	}
 	s := &Store{dir: dir, man: manifest{Version: version}}
-	if err := s.commitManifest(); err != nil {
+	if err := s.commitManifest(s.man); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -144,16 +170,27 @@ func Create(dir string) (*Store, error) {
 // Open loads the store in dir, verifying committed segments and
 // quarantining any torn uncommitted ones (see RecoveryReport).
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith is Open with options.
+func OpenWith(dir string, opt OpenOptions) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, noMmap: opt.NoMmap}
 	if err := json.Unmarshal(data, &s.man); err != nil {
 		return nil, fmt.Errorf("store: %s: manifest: %w", dir, err)
 	}
 	if s.man.Version != version {
 		return nil, fmt.Errorf("store: %s: manifest version %d, want %d", dir, s.man.Version, version)
+	}
+	// A stale MANIFEST.json.tmp is the residue of a commit whose rename
+	// never happened; the real manifest just loaded is the truth, so
+	// drop the leftover rather than letting it linger as a pseudo-file.
+	if err := os.Remove(filepath.Join(dir, manifestName+".tmp")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: %s: removing stale manifest tmp: %w", dir, err)
 	}
 	committed := map[string]bool{}
 	for _, si := range s.man.Segments {
@@ -162,7 +199,7 @@ func Open(dir string) (*Store, error) {
 			return nil, err
 		}
 	}
-	s.files = make([]*os.File, len(s.man.Segments))
+	s.readers = make([]*segHandle, len(s.man.Segments))
 	if err := s.quarantineOrphans(committed); err != nil {
 		return nil, err
 	}
@@ -314,15 +351,23 @@ func (s *Store) Recovery() RecoveryReport { return s.recovery }
 
 // Generation returns the manifest generation: it increments on every
 // committed append, so it changes exactly when the store's contents do.
-func (s *Store) Generation() uint64 { return s.man.Generation }
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Generation
+}
 
 // Segments returns the committed segment listing in manifest order.
 func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]SegmentInfo(nil), s.man.Segments...)
 }
 
 // Docs returns the total committed document count.
 func (s *Store) Docs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, si := range s.man.Segments {
 		n += int(si.Docs)
@@ -333,17 +378,63 @@ func (s *Store) Docs() int {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close releases the lazily opened segment file handles.
-func (s *Store) Close() error {
+// snapshot returns the committed view at one instant: parallel slice
+// prefixes of segments and their loaded indexes. The returned slices
+// are never mutated (Append publishes fresh or strictly-appended
+// slices), so the caller reads them without the lock.
+func (s *Store) snapshot() ([]SegmentInfo, []*segIndex, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	return s.man.Segments, s.indexes, nil
+}
+
+// acquireReader returns a referenced handle on segment segIdx's
+// reader, opening (and caching) it on first use. The caller must
+// release the handle when its last slice is dead; the mapping stays
+// valid until then even if Close runs in between.
+func (s *Store) acquireReader(segIdx int, si SegmentInfo) (*segHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if h := s.readers[segIdx]; h != nil && h.acquire() {
+		return h, nil
+	}
+	rd, err := openSegReader(filepath.Join(s.dir, si.Name+segSuffix), si.SegBytes, s.noMmap)
+	if err != nil {
+		return nil, &CorruptError{Segment: si.Name, Err: err}
+	}
+	h := newSegHandle(rd)
+	h.refs.Add(1) // the caller's reference, on top of the cache's
+	s.readers[segIdx] = h
+	return h, nil
+}
+
+// Close releases every cached segment reader. In-flight reads that
+// already acquired a handle finish safely — the last reference out,
+// theirs or ours, unmaps — and subsequent reads and appends fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	readers := s.readers
+	s.readers = nil
+	s.mu.Unlock()
 	var first error
-	for i, f := range s.files {
-		if f != nil {
-			if err := f.Close(); err != nil && first == nil {
-				first = err
-			}
-			s.files[i] = nil
+	for _, h := range readers {
+		if h == nil {
+			continue
+		}
+		if err := h.release(); err != nil && first == nil {
+			first = err
 		}
 	}
 	return first
@@ -352,7 +443,8 @@ func (s *Store) Close() error {
 // Append commits docs as one new segment: segment and index files are
 // written and synced first, then the manifest rename makes them
 // durable. On any error before the rename the store is unchanged (the
-// partial files are exactly what Open quarantines).
+// partial files are exactly what Open quarantines). Readers running
+// concurrently see the new segment only after the commit publishes.
 func (s *Store) Append(docs []corpus.Document) (SegmentInfo, error) {
 	if len(docs) == 0 {
 		return SegmentInfo{}, errors.New("store: append of zero documents")
@@ -360,7 +452,14 @@ func (s *Store) Append(docs []corpus.Document) (SegmentInfo, error) {
 	if len(docs) > 1<<31 {
 		return SegmentInfo{}, fmt.Errorf("store: append of %d documents exceeds segment capacity", len(docs))
 	}
-	name := fmt.Sprintf("seg-%08d", len(s.man.Segments)+1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SegmentInfo{}, ErrClosed
+	}
+	cur := s.man
+	s.mu.Unlock()
+	name := fmt.Sprintf("seg-%08d", len(cur.Segments)+1)
 
 	ib := newIndexBuilder()
 	seg := segHeader()
@@ -380,22 +479,20 @@ func (s *Store) Append(docs []corpus.Document) (SegmentInfo, error) {
 	}
 
 	si := SegmentInfo{Name: name, Docs: uint32(len(docs)), SegBytes: int64(len(seg)), IdxBytes: int64(len(idx))}
-	man := s.man
-	man.Segments = append(append([]SegmentInfo(nil), s.man.Segments...), si)
+	man := cur
+	man.Segments = append(append([]SegmentInfo(nil), cur.Segments...), si)
 	man.Generation++
-	prev := s.man
-	s.man = man
-	if err := s.commitManifest(); err != nil {
-		s.man = prev
+	if err := s.commitManifest(man); err != nil {
 		return SegmentInfo{}, err
 	}
 	ix, err := decodeIndex(idx)
 	if err != nil { // cannot happen: we just encoded it
 		return SegmentInfo{}, fmt.Errorf("store: append: %w", err)
 	}
-	s.indexes = append(s.indexes, ix)
 	s.mu.Lock()
-	s.files = append(s.files, nil)
+	s.man = man
+	s.indexes = append(s.indexes, ix)
+	s.readers = append(s.readers, nil)
 	s.mu.Unlock()
 	return si, nil
 }
@@ -437,9 +534,10 @@ func WriteCorpora(s *Store, corpora map[corpus.Dataset]*corpus.Corpus, blogs *co
 	return nil
 }
 
-// commitManifest atomically replaces the manifest.
-func (s *Store) commitManifest() error {
-	data, err := json.MarshalIndent(s.man, "", "  ")
+// commitManifest atomically replaces the manifest with man. A failed
+// rename removes the temp file so no half-commit residue survives.
+func (s *Store) commitManifest(man manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: manifest: %w", err)
 	}
@@ -449,6 +547,7 @@ func (s *Store) commitManifest() error {
 		return fmt.Errorf("store: manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort; Open also sweeps stale tmps
 		return fmt.Errorf("store: manifest: %w", err)
 	}
 	syncDir(s.dir)
@@ -480,38 +579,59 @@ func syncDir(dir string) {
 	}
 }
 
+// scanSegment decodes committed segment segIdx in record order,
+// invoking fn per document. The read is bounded to si.SegBytes — bytes
+// a live appender may have written past the committed extent are never
+// seen — and the decode must consume exactly that extent, or the
+// segment is reported corrupt.
+func (s *Store) scanSegment(segIdx int, si SegmentInfo, fn func(d *corpus.Document, ref DocRef) error) error {
+	h, err := s.acquireReader(segIdx, si)
+	if err != nil {
+		return err
+	}
+	defer h.release() //nolint:errcheck // close error surfaces on Store.Close
+	data, err := h.rd.slice(0, si.SegBytes)
+	if err != nil {
+		return &CorruptError{Segment: si.Name, Err: err}
+	}
+	if err := checkSegHeader(data); err != nil {
+		return &CorruptError{Segment: si.Name, Err: err}
+	}
+	pos := segHeaderSz
+	for ord := uint32(0); ord < si.Docs; ord++ {
+		payload, n, err := decodeRecord(data[pos:])
+		if err != nil {
+			return &CorruptError{Segment: si.Name, Offset: int64(pos), Err: err}
+		}
+		d, err := decodeDoc(payload)
+		if err != nil {
+			return &CorruptError{Segment: si.Name, Offset: int64(pos), Err: err}
+		}
+		pos += n
+		if err := fn(&d, DocRef{Segment: segIdx, Ordinal: ord}); err != nil {
+			return err
+		}
+	}
+	if int64(pos) != si.SegBytes {
+		return &CorruptError{Segment: si.Name, Offset: int64(pos),
+			Err: fmt.Errorf("%d bytes beyond the last committed record", si.SegBytes-int64(pos))}
+	}
+	return nil
+}
+
 // Scan streams every committed document in store order (segment order,
 // then record order), invoking fn with the decoded document and its
-// ref. The documents are decoded one segment at a time — a consumer
-// holds at most one segment in memory, never the corpus. fn errors
-// abort the scan; record damage surfaces as a *CorruptError.
+// ref. Documents are decoded lazily from each segment's reader — a
+// consumer holds at most one segment in memory, never the corpus. fn
+// errors abort the scan; record damage surfaces as a *CorruptError.
 func (s *Store) Scan(fn func(d *corpus.Document, ref DocRef) error) error {
-	for segIdx, si := range s.man.Segments {
-		data, err := os.ReadFile(filepath.Join(s.dir, si.Name+segSuffix))
-		if err != nil {
-			return &CorruptError{Segment: si.Name, Err: err}
-		}
-		if err := checkSegHeader(data); err != nil {
-			return &CorruptError{Segment: si.Name, Err: err}
-		}
-		pos := segHeaderSz
-		for ord := uint32(0); ord < si.Docs; ord++ {
-			payload, n, err := decodeRecord(data[pos:])
-			if err != nil {
-				return &CorruptError{Segment: si.Name, Offset: int64(pos), Err: err}
-			}
-			d, err := decodeDoc(payload)
-			if err != nil {
-				return &CorruptError{Segment: si.Name, Offset: int64(pos), Err: err}
-			}
-			pos += n
-			if err := fn(&d, DocRef{Segment: segIdx, Ordinal: ord}); err != nil {
-				return err
-			}
-		}
-		if pos != len(data) {
-			return &CorruptError{Segment: si.Name, Offset: int64(pos),
-				Err: fmt.Errorf("%d bytes beyond the last committed record", len(data)-pos)}
+	segs, _, err := s.snapshot()
+	if err != nil {
+		return err
+	}
+	for segIdx, si := range segs {
+		if err := s.scanSegment(segIdx, si, fn); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -522,7 +642,11 @@ func (s *Store) Scan(fn func(d *corpus.Document, ref DocRef) error) error {
 // field terms also work), in store order. fn returns false to stop.
 func (s *Store) Lookup(token string, fn func(ref DocRef) bool) {
 	token = NormalizeToken(token)
-	for segIdx, ix := range s.indexes {
+	_, indexes, err := s.snapshot()
+	if err != nil {
+		return
+	}
+	for segIdx, ix := range indexes {
 		bm := ix.lookup(token)
 		if bm == nil {
 			continue
@@ -542,15 +666,18 @@ func (s *Store) Lookup(token string, fn func(ref DocRef) bool) {
 }
 
 // LookupDocs is Lookup plus document fetch: fn receives each matching
-// document in store order.
+// document in store order. A fetch failure is wrapped with lookup
+// context but keeps its chain — errors.As still surfaces the
+// *CorruptError — while an error from fn is returned unchanged.
 func (s *Store) LookupDocs(token string, fn func(d *corpus.Document, ref DocRef) error) error {
 	var ferr error
 	s.Lookup(token, func(ref DocRef) bool {
 		d, err := s.Doc(ref)
-		if err == nil {
-			err = fn(&d, ref)
-		}
 		if err != nil {
+			ferr = fmt.Errorf("store: lookup %q: fetching segment %d record %d: %w", token, ref.Segment, ref.Ordinal, err)
+			return false
+		}
+		if err := fn(&d, ref); err != nil {
 			ferr = err
 			return false
 		}
@@ -573,7 +700,11 @@ func (s *Store) LookupAll(tokens []string, fn func(ref DocRef) bool) {
 	for i, tok := range tokens {
 		norm[i] = NormalizeToken(tok)
 	}
-	for segIdx, ix := range s.indexes {
+	_, indexes, err := s.snapshot()
+	if err != nil {
+		return
+	}
+	for segIdx, ix := range indexes {
 		postings := make([]*Bitmap, len(norm))
 		missing := false
 		for i, tok := range norm {
@@ -610,15 +741,19 @@ func (s *Store) LookupAll(tokens []string, fn func(ref DocRef) bool) {
 }
 
 // LookupAllDocs is LookupAll plus document fetch: fn receives each
-// document matching every token, in store order.
+// document matching every token, in store order. Fetch failures are
+// wrapped like LookupDocs (errors.As still finds the *CorruptError);
+// fn errors come back unchanged.
 func (s *Store) LookupAllDocs(tokens []string, fn func(d *corpus.Document, ref DocRef) error) error {
 	var ferr error
 	s.LookupAll(tokens, func(ref DocRef) bool {
 		d, err := s.Doc(ref)
-		if err == nil {
-			err = fn(&d, ref)
-		}
 		if err != nil {
+			ferr = fmt.Errorf("store: lookup %q: fetching segment %d record %d: %w",
+				strings.Join(tokens, ","), ref.Segment, ref.Ordinal, err)
+			return false
+		}
+		if err := fn(&d, ref); err != nil {
 			ferr = err
 			return false
 		}
@@ -628,18 +763,21 @@ func (s *Store) LookupAllDocs(tokens []string, fn func(d *corpus.Document, ref D
 }
 
 // Doc random-accesses one document through the segment's offset table.
+// The record bytes come straight from the segment reader (zero copies
+// on the mmap path); the decoded document owns its strings, so it
+// stays valid after Close.
 func (s *Store) Doc(ref DocRef) (corpus.Document, error) {
-	if ref.Segment < 0 || ref.Segment >= len(s.man.Segments) {
-		return corpus.Document{}, fmt.Errorf("store: no segment %d", ref.Segment)
-	}
-	si := s.man.Segments[ref.Segment]
-	ix := s.indexes[ref.Segment]
-	if ref.Ordinal >= uint32(len(ix.offsets)) {
-		return corpus.Document{}, fmt.Errorf("store: segment %s has no record %d", si.Name, ref.Ordinal)
-	}
-	f, err := s.segmentFile(ref.Segment)
+	segs, indexes, err := s.snapshot()
 	if err != nil {
 		return corpus.Document{}, err
+	}
+	if ref.Segment < 0 || ref.Segment >= len(segs) {
+		return corpus.Document{}, fmt.Errorf("store: no segment %d", ref.Segment)
+	}
+	si := segs[ref.Segment]
+	ix := indexes[ref.Segment]
+	if ref.Ordinal >= uint32(len(ix.offsets)) {
+		return corpus.Document{}, fmt.Errorf("store: segment %s has no record %d", si.Name, ref.Ordinal)
 	}
 	off := int64(ix.offsets[ref.Ordinal])
 	end := si.SegBytes
@@ -650,8 +788,13 @@ func (s *Store) Doc(ref DocRef) (corpus.Document, error) {
 		return corpus.Document{}, &CorruptError{Segment: si.Name, Offset: off,
 			Err: errors.New("index offset outside the committed segment")}
 	}
-	buf := make([]byte, end-off)
-	if _, err := f.ReadAt(buf, off); err != nil {
+	h, err := s.acquireReader(ref.Segment, si)
+	if err != nil {
+		return corpus.Document{}, err
+	}
+	defer h.release() //nolint:errcheck // close error surfaces on Store.Close
+	buf, err := h.rd.slice(off, end-off)
+	if err != nil {
 		return corpus.Document{}, &CorruptError{Segment: si.Name, Offset: off, Err: err}
 	}
 	payload, _, err := decodeRecord(buf)
@@ -663,21 +806,6 @@ func (s *Store) Doc(ref DocRef) (corpus.Document, error) {
 		return corpus.Document{}, &CorruptError{Segment: si.Name, Offset: off, Err: err}
 	}
 	return d, nil
-}
-
-// segmentFile lazily opens (and caches) a segment file handle.
-func (s *Store) segmentFile(i int) (*os.File, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.files[i] != nil {
-		return s.files[i], nil
-	}
-	f, err := os.Open(filepath.Join(s.dir, s.man.Segments[i].Name+segSuffix))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	s.files[i] = f
-	return f, nil
 }
 
 // IsNotExist reports whether err means dir held no store.

@@ -34,6 +34,7 @@ import (
 
 	"harassrepro/internal/annotate"
 	"harassrepro/internal/core"
+	"harassrepro/internal/corpus/store"
 	"harassrepro/internal/registry"
 	"harassrepro/internal/serve"
 )
@@ -65,6 +66,13 @@ type Config struct {
 	MaxMeanDelta float64
 	// SwapTimeout bounds one fleet rotation. Default 30s.
 	SwapTimeout time.Duration
+	// ReplayStorePath, when set, names a segmented corpus store whose
+	// historical documents augment every retrain's training seed
+	// (registry.RetrainConfig.ReplayStore). The store is opened per
+	// retrain round, so segments appended between rounds are replayed.
+	ReplayStorePath string
+	// ReplayLimit caps the replayed examples per round (default 256).
+	ReplayLimit int
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -224,15 +232,29 @@ func (m *Manager) retrain(locked bool) (uint64, registry.RetrainResult, error) {
 		restore()
 		return 0, registry.RetrainResult{}, fmt.Errorf("lifecycle: loading active model: %w", err)
 	}
-	cand, res, err := registry.Retrain(base, fb, registry.RetrainConfig{Seed: m.cfg.Seed + round})
+	rcfg := registry.RetrainConfig{Seed: m.cfg.Seed + round, ReplayLimit: m.cfg.ReplayLimit}
+	if m.cfg.ReplayStorePath != "" {
+		st, err := store.Open(m.cfg.ReplayStorePath)
+		if err != nil {
+			restore()
+			return 0, registry.RetrainResult{}, fmt.Errorf("lifecycle: opening replay store: %w", err)
+		}
+		defer st.Close()
+		rcfg.ReplayStore = st
+	}
+	cand, res, err := registry.Retrain(base, fb, rcfg)
 	if err != nil {
 		restore()
 		return 0, registry.RetrainResult{}, fmt.Errorf("lifecycle: retrain: %w", err)
 	}
+	note := fmt.Sprintf("base gen %d, %d feedback items, task %s", baseGen, res.Feedback, res.Task)
+	if res.Replayed > 0 {
+		note += fmt.Sprintf(", %d replayed from store", res.Replayed)
+	}
 	gen, err := m.reg.Commit(registry.Entry{
 		Seed:   m.cfg.Seed + round,
 		Source: "retrain",
-		Note:   fmt.Sprintf("base gen %d, %d feedback items, task %s", baseGen, res.Feedback, res.Task),
+		Note:   note,
 	}, cand.Save)
 	if err != nil {
 		restore()
@@ -329,6 +351,7 @@ func (m *Manager) handleRetrain(w http.ResponseWriter, _ *http.Request) {
 		"generation": gen,
 		"task":       res.Task,
 		"feedback":   res.Feedback,
+		"replayed":   res.Replayed,
 		"labelled":   res.Labelled,
 		"thresholds": res.Thresholds,
 	})

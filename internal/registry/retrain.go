@@ -1,12 +1,15 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"harassrepro/internal/active"
 	"harassrepro/internal/annotate"
 	"harassrepro/internal/core"
+	"harassrepro/internal/corpus"
+	"harassrepro/internal/corpus/store"
 	"harassrepro/internal/model"
 	"harassrepro/internal/randx"
 	"harassrepro/internal/threshold"
@@ -40,6 +43,18 @@ type RetrainConfig struct {
 	Epochs int
 	// Progress, when set, observes active-learning iterations live.
 	Progress func(active.IterationStats)
+	// ReplayStore, when set, augments the feedback batch's training
+	// seed with historical documents replayed from the corpus store:
+	// documents carrying ground truth for the round's task, balanced
+	// positive/negative and streamed at store scan speed. Replay is
+	// deterministic — store order at any worker count — so the same
+	// store, feedback and seed still produce the same candidate.
+	ReplayStore *store.Store
+	// ReplayLimit caps the replayed examples. Defaults to 256.
+	ReplayLimit int
+	// ReplayWorkers is the replay scan's segment decode parallelism
+	// (0 = GOMAXPROCS, 1 = sequential).
+	ReplayWorkers int
 }
 
 func (c *RetrainConfig) fillDefaults() {
@@ -61,6 +76,9 @@ type RetrainResult struct {
 	Task annotate.Task
 	// Feedback is the number of feedback items consumed.
 	Feedback int
+	// Replayed is the number of historical store documents folded into
+	// the training seed (0 without a ReplayStore).
+	Replayed int
 	// Labelled is the final training-set size.
 	Labelled int
 	// History is the active-learning iteration trail.
@@ -115,6 +133,19 @@ func Retrain(base *core.Detector, fb []Feedback, cfg RetrainConfig) (*core.Detec
 		pool = append(pool, active.Instance{ID: f.ID, X: x, Truth: f.Label})
 	}
 
+	// Historical replay vectorizes after the feedback batch on the same
+	// rng stream, so a round without a ReplayStore is bit-identical to
+	// the pre-replay behavior.
+	replayed := 0
+	if cfg.ReplayStore != nil {
+		ex, err := replayExamples(base, task, vecRng, cfg)
+		if err != nil {
+			return nil, RetrainResult{}, fmt.Errorf("registry: retrain: replay: %w", err)
+		}
+		seed = append(seed, ex...)
+		replayed = len(ex)
+	}
+
 	crowd := annotate.NewPool(annotate.CrowdConfig(task), rng.Split("crowd"))
 	res, err := active.Run(seed, pool, crowd, active.Config{
 		Bins:       cfg.Bins,
@@ -166,8 +197,59 @@ func Retrain(base *core.Detector, fb []Feedback, cfg RetrainConfig) (*core.Detec
 	return cand, RetrainResult{
 		Task:       task,
 		Feedback:   len(batch),
+		Replayed:   replayed,
 		Labelled:   len(res.Labelled),
 		History:    res.History,
 		Thresholds: thresholds,
 	}, nil
+}
+
+// errReplayDone stops the replay scan early once both label caps are
+// full — no reason to decode the rest of the store.
+var errReplayDone = errors.New("registry: replay complete")
+
+// replayExamples streams historical documents out of the corpus store
+// and turns the ones carrying ground truth for task into labelled
+// training examples: at most limit/2 positives, negatives filling the
+// remainder, both taken in store order (ScanParallel delivers store
+// order at any worker count, so replay is deterministic). The selected
+// documents are vectorized after the scan, negatives first, in one
+// fixed order on the shared rng stream.
+func replayExamples(base *core.Detector, task annotate.Task, vecRng *randx.Source, cfg RetrainConfig) ([]model.Example, error) {
+	limit := cfg.ReplayLimit
+	if limit <= 0 {
+		limit = 256
+	}
+	maxPos := limit / 2
+	maxNeg := limit - maxPos
+	type labelled struct {
+		text string
+		y    bool
+	}
+	var pos, neg []labelled
+	err := cfg.ReplayStore.ScanParallel(cfg.ReplayWorkers, func(d *corpus.Document, _ store.DocRef) error {
+		y := d.Truth.IsDox
+		if task == annotate.TaskCTH {
+			y = d.Truth.IsCTH
+		}
+		switch {
+		case y && len(pos) < maxPos:
+			pos = append(pos, labelled{text: d.Text, y: true})
+		case !y && len(neg) < maxNeg:
+			neg = append(neg, labelled{text: d.Text, y: false})
+		}
+		if len(pos) >= maxPos && len(neg) >= maxNeg {
+			return errReplayDone
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errReplayDone) {
+		return nil, err
+	}
+	picked := append(neg, pos...)
+	examples := make([]model.Example, 0, len(picked))
+	for _, l := range picked {
+		examples = append(examples, model.Example{X: base.VectorizeTask(task, l.text, vecRng), Y: l.y})
+	}
+	return examples, nil
 }

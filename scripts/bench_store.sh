@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Corpus-store benchmark harness: builds a quick-scale store in a temp
-# directory, measures sequential scan throughput (MB/s), inverted-index
-# lookup latency, incremental append throughput, and the store-streamed
-# vs in-memory ScoreStream comparison, and writes BENCH_store.json.
+# directory, measures sequential and parallel scan throughput (MB/s),
+# inverted-index lookup latency on the mmap and buffered read paths,
+# incremental append throughput, a DefaultConfig-scale ingest+scan
+# round trip, and the store-streamed vs in-memory ScoreStream
+# comparison, and writes BENCH_store.json.
 #
-# The score-stream pair requires a one-time quick-scale training run
-# (tens of seconds); pass -store-only to skip it and measure just the
-# raw store entries. -gate-stream (used by scripts/check.sh) fails the
-# run if store-streamed scoring drops below 0.9x in-memory throughput.
+# The score-stream pair and the default-scale round trip need one-time
+# setup runs (tens of seconds); pass -store-only to skip them and
+# measure just the raw store entries. Gates (scripts/check.sh runs
+# -gate, which enforces both):
 #
-# Usage: scripts/bench_store.sh [-out FILE] [-store-only] [-gate-stream]
+#   -gate-stream    fail if store-streamed scoring drops below 0.9x
+#                   in-memory throughput
+#   -gate-parallel  fail if parallel scan drops below 2x sequential —
+#                   enforced only on machines with >= 4 cores, loudly
+#                   skipped on smaller ones
+#
+# Usage: scripts/bench_store.sh [-out FILE] [-store-only]
+#                               [-gate-stream] [-gate-parallel] [-gate]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -30,6 +30,13 @@ fi
 echo "== go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/... ./internal/registry/... ./internal/lifecycle/..."
 go test -race ./internal/resilience/... ./internal/core/... ./internal/obs/... ./internal/serve/... ./internal/corpus/... ./internal/registry/... ./internal/lifecycle/...
 
+# Parallel-scan race certification: scans at 16 workers racing a live
+# appender, and point reads racing Close, repeated under the race
+# detector — the committed-extent bounding and reader-refcount
+# (mapping lifetime) invariants of the store's mmap read path.
+echo "== store parallel-scan race step"
+go test -race -count=2 -run 'TestScanParallelWhileAppend|TestScanWhileAppend|TestDocConcurrentWithClose' ./internal/corpus/store/
+
 # Allocation-regression gates: the scoring hot path (tokenize,
 # featurize, PII clean path, pooled detector scoring) and the obs
 # metric handles it records into must stay allocation-free. These run
@@ -108,12 +115,14 @@ if [[ $fast -eq 0 ]]; then
   echo "== hot-swap chaos certification"
   scripts/chaos_swap.sh
 
-  # Corpus-store benchmark + streaming-overhead gate: scan/lookup/append
-  # throughput lands in BENCH_store.json, and ScoreStream fed from a
-  # store Scan must retain >= 0.9x the throughput of the same documents
-  # already in memory (the store may cost at most 10% on the hot path).
-  echo "== store benchmark + stream gate (BENCH_store.json)"
-  scripts/bench_store.sh -gate-stream
+  # Corpus-store benchmark + gates: scan/lookup/append throughput lands
+  # in BENCH_store.json; ScoreStream fed from a store Scan must retain
+  # >= 0.9x the throughput of the same documents already in memory (the
+  # store may cost at most 10% on the hot path), and ScanParallel must
+  # reach >= 2x the sequential scan on machines with >= 4 cores (the
+  # parallel gate skips loudly on smaller machines).
+  echo "== store benchmark + stream/parallel gates (BENCH_store.json)"
+  scripts/bench_store.sh -gate
 fi
 
 echo "OK"
